@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact at the ``bench`` preset
+(a scaled-down workload that preserves the paper's class-imbalance
+ratios) and asserts the *shape* of the paper's result — who wins, which
+direction the trade-off slopes — rather than absolute numbers.  Run
+
+    pytest benchmarks/ --benchmark-only
+
+to regenerate everything; per-artifact reports are printed into the
+benchmark output (use ``-s`` to see them live).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import get_preset
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The shared bench-scale experiment configuration."""
+    return get_preset("bench")
+
+
+@pytest.fixture(scope="session")
+def bench_data(bench_config):
+    """One dataset shared by all benchmarks (train/validation/test)."""
+    return bench_config.make_data()
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

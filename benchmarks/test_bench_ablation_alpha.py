@@ -1,0 +1,51 @@
+"""Ablation bench: the alpha mix of Eq. 9.
+
+The paper argues the auxiliary cross-entropy term (weight 1 - alpha) is
+essential: with alpha = 1 the network only optimizes the selective loss
+and "will focus on a fraction c0 of the dataset and overfit".  This
+ablation trains the same SelectiveNet at alpha in {0.5, 1.0} and checks
+that the auxiliary term does not hurt — full-coverage (raw-head)
+accuracy with alpha = 0.5 should be at least on par with alpha = 1.
+"""
+
+import pytest
+
+from repro.core.pipeline import SelectiveWaferClassifier
+from repro.metrics.selective import evaluate_selective
+
+from conftest import once
+
+
+def run_alpha(config, data, alpha):
+    classifier = SelectiveWaferClassifier(
+        target_coverage=0.5,
+        backbone=config.backbone(),
+        train=config.train_config(0.5, alpha=alpha),
+    )
+    classifier.fit(data.train, validation=data.validation, calibrate=True)
+    prediction = classifier.predict_dataset(data.test)
+    return evaluate_selective(prediction, data.test.labels, data.test.class_names)
+
+
+def test_bench_ablation_alpha(benchmark, bench_config, bench_data):
+    results = once(
+        benchmark,
+        lambda: {
+            alpha: run_alpha(bench_config, bench_data, alpha) for alpha in (0.5, 1.0)
+        },
+    )
+    print()
+    for alpha, evaluation in results.items():
+        print(
+            f"alpha={alpha}: raw accuracy={evaluation.full_coverage_accuracy:.3f} "
+            f"selective accuracy={evaluation.overall_accuracy:.3f} "
+            f"coverage={evaluation.overall_coverage:.3f}"
+        )
+
+    # The paper's claim, directionally: keeping the auxiliary loss
+    # (alpha=0.5) does not degrade the prediction head relative to
+    # selective-loss-only training (alpha=1), up to bench noise.
+    assert (
+        results[0.5].full_coverage_accuracy
+        >= results[1.0].full_coverage_accuracy - 0.05
+    )

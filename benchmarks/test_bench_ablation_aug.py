@@ -1,0 +1,60 @@
+"""Ablation bench: auto-encoder augmentation on vs off.
+
+The augmentation exists to lift minority-class performance (Sec.
+III-B).  This ablation trains the full-coverage CNN with and without
+Algorithm 1 and compares macro-F1 (which weights minority classes
+equally) and the defect detection rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.augmentation import augment_dataset
+from repro.core.pipeline import FullCoverageWaferClassifier
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    defect_detection_rate,
+    macro_f1,
+)
+
+from conftest import once
+
+
+def train_and_score(config, data, use_augmentation):
+    train = data.train
+    if use_augmentation:
+        train = augment_dataset(train, config.augmentation())
+    model = FullCoverageWaferClassifier(
+        backbone=config.backbone(), train=config.train_config(1.0)
+    )
+    model.fit(train)
+    predictions = model.predict_dataset(data.test)
+    matrix = confusion_matrix(data.test.labels, predictions, data.test.num_classes)
+    return {
+        "accuracy": accuracy(data.test.labels, predictions),
+        "macro_f1": macro_f1(matrix),
+        "defect_rate": defect_detection_rate(matrix, data.test.class_names),
+    }
+
+
+def test_bench_ablation_augmentation(benchmark, bench_config, bench_data):
+    results = once(
+        benchmark,
+        lambda: {
+            mode: train_and_score(bench_config, bench_data, mode)
+            for mode in (False, True)
+        },
+    )
+    print()
+    for mode, scores in results.items():
+        label = "with aug" if mode else "no aug  "
+        print(
+            f"{label}: accuracy={scores['accuracy']:.3f} "
+            f"macro_f1={scores['macro_f1']:.3f} defect_rate={scores['defect_rate']:.3f}"
+        )
+
+    # Augmentation must not collapse performance, and should help the
+    # imbalance-sensitive metric (macro-F1) within bench noise.
+    assert results[True]["accuracy"] >= results[False]["accuracy"] - 0.05
+    assert results[True]["macro_f1"] >= results[False]["macro_f1"] - 0.05

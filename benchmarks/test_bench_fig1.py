@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 1 — one sample wafer map per defect class."""
+
+import numpy as np
+
+from repro.data.wafer import FAIL, failure_rate
+from repro.experiments.fig1 import run_fig1
+
+from conftest import once
+
+
+def test_bench_fig1(benchmark):
+    """Fig. 1: nine classes, each rendering its distinctive pattern."""
+    result = once(benchmark, lambda: run_fig1(size=32, seed=0))
+    print()
+    print(result.format_report(ascii_art=False))
+
+    assert len(result.samples) == 9
+    # Shape claims of Fig. 1: the catastrophic class fails almost
+    # everywhere, the healthy class almost nowhere, and the remaining
+    # defect classes sit in between.
+    rates = {name: failure_rate(grid) for name, grid in result.samples.items()}
+    assert rates["Near-Full"] > 0.6
+    assert rates["None"] < 0.1
+    assert rates["None"] < rates["Random"] < rates["Near-Full"]
+    # Every map is rendered in the paper's 3-level alphabet.
+    for grid in result.samples.values():
+        assert set(np.unique(grid)) <= {0, 1, 2}

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 4 — original vs synthetic augmented wafers.
+
+Paper's Fig. 4 shows one original and one synthetic wafer per defect
+class.  Shape claims: Algorithm 1 produces synthetic wafers for every
+class, in the valid 3-level alphabet, with failure densities close to
+the class's original density (that is what "close to the original
+ones" means measurably).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+from conftest import once
+
+
+def test_bench_fig4(benchmark, bench_config, bench_data):
+    result = once(
+        benchmark,
+        lambda: run_fig4(
+            bench_config,
+            data=bench_data,
+            classes=("Center", "Donut", "Edge-Ring", "Near-Full", "Scratch"),
+        ),
+    )
+    print()
+    print(result.format_report(ascii_art=False))
+
+    assert len(result.samples) == 5
+    for sample in result.samples:
+        assert sample.synthetic_count > 0
+        assert set(np.unique(sample.synthetic)) <= {0, 1, 2}
+        # Count-matched quantization keeps densities aligned: within
+        # a factor-2 band even for sparse classes at bench scale.
+        original = max(sample.original_failure_rate, 1e-3)
+        ratio = sample.synthetic_failure_rate / original
+        assert 0.4 < ratio < 2.5, f"{sample.class_name}: density ratio {ratio:.2f}"

@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 5 — accuracy and coverage vs c0.
+
+Paper's Fig. 5 plots selective accuracy and realized test coverage for
+c0 in {0.2, 0.5, 0.75, 1.0}: accuracy decreases (weakly) as the
+coverage demand grows, coverage increases with c0 and reaches 1.0 at
+full coverage.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+from conftest import once
+
+
+def test_bench_fig5(benchmark, bench_config, bench_data):
+    result = once(
+        benchmark,
+        lambda: run_fig5(
+            bench_config,
+            coverages=(0.2, 0.5, 0.75, 1.0),
+            data=bench_data,
+            use_augmentation=True,
+        ),
+    )
+    print()
+    print(result.format_report())
+
+    coverages = result.coverages()
+    accuracies = result.accuracies()
+
+    # Coverage is monotone non-decreasing in c0 and exactly 1 at c0=1.
+    assert all(a <= b + 1e-9 for a, b in zip(coverages, coverages[1:]))
+    assert coverages[-1] == pytest.approx(1.0)
+    # The trade-off: the strictest point is at least as accurate as the
+    # full-coverage point (2% bench-scale tolerance), and no point is
+    # much worse than full coverage.
+    assert accuracies[0] >= accuracies[-1] - 0.02
+    assert min(accuracies) >= accuracies[-1] - 0.05

@@ -1,0 +1,33 @@
+"""Bench: novel-defect abstention (extension beyond Table IV).
+
+Trains on all nine canonical classes and measures abstention on
+defect morphologies outside the label set (grid, half-moon,
+checkerboard).  Claim: novel-pattern coverage is well below the
+known-class coverage — the reject option generalizes past the
+hold-one-class-out protocol of Table IV.
+"""
+
+import pytest
+
+from repro.experiments.novel_defects import run_novel_defects
+
+from conftest import once
+
+
+def test_bench_novel_defects(benchmark, bench_config, bench_data):
+    result = once(
+        benchmark,
+        lambda: run_novel_defects(
+            bench_config,
+            data=bench_data,
+            target_coverage=0.5,
+            novel_per_pattern=20,
+            use_augmentation=True,
+        ),
+    )
+    print()
+    print(result.format_report())
+
+    assert result.known_coverage > 0.3
+    # Novel wafers are rejected at a substantially higher rate.
+    assert result.novel_coverage < 0.7 * result.known_coverage

@@ -1,0 +1,48 @@
+"""Bench: regenerate Table II — selective learning across coverages.
+
+Paper's Table II reports, per target coverage c0 in {0.2, 0.5, 0.75}:
+per-class precision/recall/F1/coverage plus the overall selective
+accuracy (99.1% / 99.0% / 96.6%) and realized coverage (27.2% / 57.9% /
+89.1%).  Shape claims checked here:
+
+* selective accuracy at low coverage >= selective accuracy at high
+  coverage (the risk-coverage trade-off), and
+* realized coverage increases with c0, and
+* selective accuracy at reduced coverage >= full-coverage accuracy.
+"""
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+from conftest import once
+
+
+def test_bench_table2(benchmark, bench_config, bench_data):
+    result = once(
+        benchmark,
+        lambda: run_table2(
+            bench_config,
+            coverages=(0.2, 0.5, 0.75),
+            data=bench_data,
+            use_augmentation=True,
+        ),
+    )
+    print()
+    print(result.format_report())
+
+    low = result.per_coverage[0.2]
+    mid = result.per_coverage[0.5]
+    high = result.per_coverage[0.75]
+
+    # Realized coverage tracks the target ordering.
+    assert low.overall_coverage <= mid.overall_coverage <= high.overall_coverage
+    # Coverage calibration: realized coverage is near-or-above target.
+    assert mid.overall_coverage >= 0.35
+    # Risk-coverage trade-off: the strictest setting is at least as
+    # accurate as the loosest (allowing bench-scale noise of 2%).
+    assert low.overall_accuracy >= high.overall_accuracy - 0.02
+    # Selective accuracy beats labeling everything.
+    assert mid.overall_accuracy >= mid.full_coverage_accuracy - 0.02
+    # Table structure: every class reported.
+    assert set(mid.class_reports) == set(result.class_names)

@@ -1,0 +1,39 @@
+"""Bench: regenerate Table III — CNN (full coverage) vs SVM baseline.
+
+Paper's Table III: two 9x9 confusion matrices; CNN reaches 94% overall
+and 86% on defect classes, the Radon+geometry SVM of [2] reaches 91%
+and 72%.  At bench scale both models are data-starved, so the asserted
+shape claims are the robust ones: both models beat the majority-class
+trivial classifier and produce full confusion matrices; the CNN-vs-SVM
+ordering at the adequately-trained ``default`` preset is recorded in
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.table3 import run_table3
+
+from conftest import once
+
+
+def test_bench_table3(benchmark, bench_config, bench_data):
+    result = once(
+        benchmark,
+        lambda: run_table3(bench_config, data=bench_data, use_augmentation=True),
+    )
+    print()
+    print(result.format_report())
+
+    test_counts = bench_data.test.class_counts()
+    majority = max(test_counts.values()) / len(bench_data.test)
+
+    # Both confusion matrices account for every test wafer.
+    assert result.cnn_confusion.sum() == len(bench_data.test)
+    assert result.svm_confusion.sum() == len(bench_data.test)
+    # Both models are better than predicting the majority class.
+    assert result.svm_accuracy > majority
+    assert result.cnn_accuracy > majority
+    # Both detect a nontrivial fraction of actual defects.
+    assert result.svm_defect_rate > 0.3
+    assert result.cnn_defect_rate > 0.3

@@ -1,0 +1,46 @@
+"""Bench: regenerate Table IV — new-defect detection by abstention.
+
+Paper's Table IV: with Near-Full held out of training and a c0=0.5
+selective model, the "original" recall of the unseen class is 0 (the
+model cannot emit its label) and selective learning abstains on all of
+its samples (coverage 0 on the unseen class), while known classes keep
+normal coverage.
+"""
+
+import pytest
+
+from repro.experiments.table4 import run_table4
+
+from conftest import once
+
+
+def test_bench_table4(benchmark, bench_config, bench_data):
+    result = once(
+        benchmark,
+        lambda: run_table4(
+            bench_config,
+            data=bench_data,
+            held_out="Near-Full",
+            target_coverage=0.5,
+            use_augmentation=True,
+        ),
+    )
+    print()
+    print(result.format_report())
+
+    held = result.rows["Near-Full"]
+    # The unseen class can never be labeled correctly without rejection.
+    assert held.original_recall == 0.0
+    # Abstention flags the new class: coverage on it stays (near) zero.
+    assert result.held_out_coverage <= 0.34
+    # Known classes keep healthy aggregate coverage: the model is not
+    # simply rejecting everything.
+    known_covered = sum(
+        row.covered for name, row in result.rows.items() if name != "Near-Full"
+    )
+    known_support = sum(
+        row.support for name, row in result.rows.items() if name != "Near-Full"
+    )
+    assert known_covered / known_support > 0.3
+    # The unseen class is rejected at a higher rate than the known pool.
+    assert result.held_out_coverage < known_covered / known_support

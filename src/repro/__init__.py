@@ -1,0 +1,29 @@
+"""repro — reproduction of "Wafer Map Defect Patterns Classification
+using Deep Selective Learning" (Alawieh, Boning, Pan; DAC 2020).
+
+Top-level layout:
+
+* :mod:`repro.nn` — numpy deep-learning substrate (autograd, conv, Adam);
+* :mod:`repro.data` — synthetic WM-811K wafer-map data substrate;
+* :mod:`repro.core` — the paper's contribution: SelectiveNet CNN,
+  auto-encoder augmentation, calibration, risk-coverage analysis;
+* :mod:`repro.features` / :mod:`repro.svm` — the Radon+geometry feature
+  SVM baseline of Wu et al. (TSM'15) the paper compares against;
+* :mod:`repro.metrics` — evaluation metrics;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart
+----------
+>>> from repro.data import generate_paper_profile
+>>> from repro.core import SelectiveWaferClassifier
+>>> data = generate_paper_profile(scale=0.01, size=32)      # doctest: +SKIP
+>>> clf = SelectiveWaferClassifier(target_coverage=0.5)     # doctest: +SKIP
+>>> clf.fit(data["train"])                                  # doctest: +SKIP
+>>> pred = clf.predict_dataset(data["test"])                # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from . import core, data, metrics, nn, viz
+
+__all__ = ["core", "data", "metrics", "nn", "viz", "__version__"]

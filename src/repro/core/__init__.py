@@ -1,0 +1,68 @@
+"""The paper's primary contribution: deep selective learning for wafers.
+
+Contents map to the paper's Sec. III:
+
+* :mod:`repro.core.cnn` — Table I CNN architecture;
+* :mod:`repro.core.selective` — the (f, g) selective model of Fig. 2;
+* :mod:`repro.core.losses` — the SelectiveNet objective, Eqs. 6-9;
+* :mod:`repro.core.trainer` — Adam training loop for both modes;
+* :mod:`repro.core.autoencoder` — the Fig. 3 convolutional auto-encoder;
+* :mod:`repro.core.augmentation` — Algorithm 1;
+* :mod:`repro.core.calibration` / :mod:`repro.core.risk_coverage` —
+  threshold calibration and the Fig. 5 risk-coverage trade-off;
+* :mod:`repro.core.pipeline` — the high-level fit/predict API.
+"""
+
+from .augmentation import AugmentationConfig, augment_class, augment_dataset
+from .autoencoder import AutoencoderConfig, ConvAutoencoder, train_autoencoder
+from .calibration import CalibrationResult, threshold_for_coverage, threshold_for_risk
+from .cnn import TABLE_I_SPEC, BackboneConfig, WaferCNN, build_backbone
+from .losses import (
+    SelectiveLossTerms,
+    coverage_penalty,
+    empirical_coverage,
+    selective_risk,
+    selectivenet_objective,
+)
+from .pipeline import FullCoverageWaferClassifier, SelectiveWaferClassifier
+from .risk_coverage import RiskCoveragePoint, area_under_risk_coverage, risk_coverage_curve
+from .persistence import load_classifier, save_classifier
+from .selective import ABSTAIN, SelectiveNet, SelectivePrediction
+from .softmax_selective import SoftmaxResponseSelector
+from .trainer import EpochStats, TrainConfig, Trainer, TrainHistory
+
+__all__ = [
+    "TABLE_I_SPEC",
+    "BackboneConfig",
+    "WaferCNN",
+    "build_backbone",
+    "SelectiveNet",
+    "SelectivePrediction",
+    "ABSTAIN",
+    "SelectiveLossTerms",
+    "empirical_coverage",
+    "selective_risk",
+    "coverage_penalty",
+    "selectivenet_objective",
+    "TrainConfig",
+    "Trainer",
+    "TrainHistory",
+    "EpochStats",
+    "AutoencoderConfig",
+    "ConvAutoencoder",
+    "train_autoencoder",
+    "AugmentationConfig",
+    "augment_class",
+    "augment_dataset",
+    "CalibrationResult",
+    "threshold_for_coverage",
+    "threshold_for_risk",
+    "RiskCoveragePoint",
+    "risk_coverage_curve",
+    "area_under_risk_coverage",
+    "SelectiveWaferClassifier",
+    "FullCoverageWaferClassifier",
+    "SoftmaxResponseSelector",
+    "save_classifier",
+    "load_classifier",
+]

@@ -1,0 +1,165 @@
+"""The SelectiveNet training objective (Eqs. 6-9 of the paper).
+
+Given per-sample cross-entropy losses ``l_i`` and selection scores
+``g_i``:
+
+* empirical coverage           ``c(g|D) = mean(g_i)``                  (Eq. 6)
+* empirical selective risk     ``r(f,g|D) = mean(l_i * g_i) / c(g|D)`` (Eq. 7)
+* coverage-constrained loss    ``L_(f,g) = r + lambda * Psi(c0 - c)``  (Eq. 8)
+  with quadratic penalty        ``Psi(z) = max(0, z)^2``
+* overall objective            ``L = alpha * L_(f,g) + (1-alpha) * r(f|D)``  (Eq. 9)
+
+The auxiliary term ``r(f|D)`` is the plain cross-entropy of the
+prediction head over *all* samples; the paper stresses it is essential,
+otherwise the network only ever sees the covered fraction and overfits
+a ``c0``-subset of the training data.
+
+Per-sample weights (``w < 1`` for synthetic samples, Sec. III-B) scale
+the cross-entropy terms of both the selective risk and the auxiliary
+loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "SelectiveLossTerms",
+    "empirical_coverage",
+    "selective_risk",
+    "coverage_penalty",
+    "selectivenet_objective",
+]
+
+
+@dataclass
+class SelectiveLossTerms:
+    """The decomposed objective, for logging and tests.
+
+    ``total`` is the differentiable Eq. 9 loss; the remaining fields
+    are detached floats recorded per step.
+    """
+
+    total: Tensor
+    selective_risk: float
+    coverage: float
+    penalty: float
+    auxiliary_risk: float
+
+
+def empirical_coverage(selection: Tensor) -> Tensor:
+    """Eq. 6: mean of the selection scores over the batch."""
+    if selection.ndim != 1:
+        raise ValueError("selection must be a 1-D tensor of g(x) scores")
+    return selection.mean()
+
+
+def selective_risk(
+    per_sample_loss: Tensor,
+    selection: Tensor,
+    coverage: Optional[Tensor] = None,
+    eps: float = 1e-8,
+) -> Tensor:
+    """Eq. 7: selection-weighted loss normalized by coverage."""
+    if coverage is None:
+        coverage = empirical_coverage(selection)
+    weighted = (per_sample_loss * selection).mean()
+    return weighted / (coverage + eps)
+
+
+def coverage_penalty(
+    coverage: Tensor,
+    target_coverage: float,
+    mode: str = "symmetric",
+) -> Tensor:
+    """Coverage-constraint penalty (Eq. 8 and a symmetric variant).
+
+    ``mode="hinge"`` is the paper's ``Psi(c0 - c) = max(0, c0 - c)^2``:
+    it only penalizes coverage *under*-shoot.  Once the training risk
+    approaches zero nothing bounds ``g`` from above, the selection
+    logits drift deep into sigmoid saturation, and their ranking
+    degenerates to feature magnitude — which breaks coverage-based
+    drift detection (DESIGN.md §2.1).  ``mode="symmetric"`` (default)
+    uses ``(c - c0)^2``: it pins the mean of ``g`` near ``c0``, keeping
+    the logits in the active region where their ranking tracks
+    misclassification risk.
+    """
+    if not 0.0 < target_coverage <= 1.0:
+        raise ValueError("target_coverage must be in (0, 1]")
+    if mode == "hinge":
+        gap = (-coverage) + target_coverage
+        hinged = gap.relu()
+        return hinged * hinged
+    if mode == "symmetric":
+        gap = coverage - target_coverage
+        return gap * gap
+    raise ValueError(f"unknown penalty mode {mode!r}; expected 'hinge' or 'symmetric'")
+
+
+def selectivenet_objective(
+    logits: Tensor,
+    selection: Tensor,
+    labels: np.ndarray,
+    target_coverage: float,
+    lam: float = 0.5,
+    alpha: float = 0.5,
+    sample_weights: Optional[np.ndarray] = None,
+    penalty_mode: str = "symmetric",
+) -> SelectiveLossTerms:
+    """Assemble the full Eq. 9 objective for one mini-batch.
+
+    Parameters
+    ----------
+    logits:
+        Prediction-head outputs, shape ``(N, num_classes)``.
+    selection:
+        Selection-head outputs ``g(x)`` in (0,1), shape ``(N,)``.
+    labels:
+        Integer ground-truth labels, shape ``(N,)``.
+    target_coverage:
+        ``c0`` in Eq. 8; the paper sweeps {0.2, 0.5, 0.75}.
+    lam:
+        ``lambda`` in Eq. 8 (paper uses 0.5; the original SelectiveNet
+        uses 32 — both work, the penalty is only active when coverage
+        under-shoots).
+    alpha:
+        Mixing weight of Eq. 9 (paper uses 0.5).
+    sample_weights:
+        Optional per-sample loss weights for synthetic samples.
+    penalty_mode:
+        ``"symmetric"`` (default) or the paper's one-sided ``"hinge"``;
+        see :func:`coverage_penalty`.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+
+    per_sample = nn.cross_entropy(logits, labels, reduction="none")
+    if sample_weights is not None:
+        weights = np.asarray(sample_weights, dtype=np.float32)
+        if weights.shape != (logits.shape[0],):
+            raise ValueError("sample_weights must have shape (N,)")
+        per_sample = per_sample * Tensor(weights)
+
+    coverage = empirical_coverage(selection)
+    risk = selective_risk(per_sample, selection, coverage)
+    penalty = coverage_penalty(coverage, target_coverage, mode=penalty_mode)
+    constrained = risk + lam * penalty
+
+    auxiliary = per_sample.mean()
+    total = alpha * constrained + (1.0 - alpha) * auxiliary
+
+    return SelectiveLossTerms(
+        total=total,
+        selective_risk=float(risk.data),
+        coverage=float(coverage.data),
+        penalty=float(penalty.data),
+        auxiliary_risk=float(auxiliary.data),
+    )

@@ -1,0 +1,84 @@
+"""Risk-coverage analysis (the trade-off in Fig. 5).
+
+Given selection scores and prediction correctness on a test set, these
+helpers sweep the acceptance threshold to trace the full
+risk-coverage curve, and compute the area under it — a standard summary
+of a selective classifier's quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["RiskCoveragePoint", "risk_coverage_curve", "area_under_risk_coverage"]
+
+
+@dataclass
+class RiskCoveragePoint:
+    """One point of the risk-coverage curve."""
+
+    threshold: float
+    coverage: float
+    risk: float
+
+    @property
+    def selective_accuracy(self) -> float:
+        return 1.0 - self.risk
+
+
+def risk_coverage_curve(
+    selection_scores: np.ndarray,
+    correct: np.ndarray,
+) -> List[RiskCoveragePoint]:
+    """Trace (coverage, selective 0/1 risk) as the threshold sweeps.
+
+    Points are ordered from the strictest threshold (lowest coverage)
+    to the most permissive (coverage 1.0).  Samples tied at a threshold
+    are accepted together, so each distinct score yields one point.
+    """
+    scores = np.asarray(selection_scores, dtype=np.float64)
+    correct = np.asarray(correct, dtype=bool)
+    if scores.shape != correct.shape or scores.ndim != 1:
+        raise ValueError("scores and correct must be matching 1-D arrays")
+    if scores.size == 0:
+        return []
+
+    order = np.argsort(scores)[::-1]
+    sorted_scores = scores[order]
+    sorted_correct = correct[order]
+    cumulative_correct = np.cumsum(sorted_correct)
+    counts = np.arange(1, scores.size + 1)
+
+    points: List[RiskCoveragePoint] = []
+    total = scores.size
+    # A threshold boundary sits wherever the next score is strictly smaller.
+    boundaries = np.flatnonzero(np.diff(sorted_scores) < 0)
+    cut_indices = np.append(boundaries, total - 1)
+    for cut in cut_indices:
+        accepted = cut + 1
+        points.append(
+            RiskCoveragePoint(
+                threshold=float(sorted_scores[cut]),
+                coverage=accepted / total,
+                risk=1.0 - float(cumulative_correct[cut]) / accepted,
+            )
+        )
+    return points
+
+
+def area_under_risk_coverage(points: List[RiskCoveragePoint]) -> float:
+    """Trapezoidal area under the risk-coverage curve (lower is better).
+
+    The curve is integrated over coverage in [first, last] of the given
+    points; callers wanting the full [0,1] range should include a
+    coverage-1.0 point (``risk_coverage_curve`` always does).
+    """
+    if len(points) < 2:
+        return 0.0
+    coverages = np.array([p.coverage for p in points])
+    risks = np.array([p.risk for p in points])
+    order = np.argsort(coverages)
+    return float(np.trapezoid(risks[order], coverages[order]))

@@ -1,0 +1,101 @@
+"""Softmax-response (SR) selective classification baseline.
+
+SelectiveNet's classic comparator (Geifman & El-Yaniv, 2017/2019):
+instead of a learned selection head, use the maximum softmax
+probability of a plain classifier as the confidence score and abstain
+below a threshold.  Including SR lets the reproduction ablate what the
+*learned* selection head buys over post-hoc confidence thresholding —
+the central design choice of the paper's selective scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .calibration import CalibrationResult, threshold_for_coverage
+from .cnn import WaferCNN
+from .selective import ABSTAIN, SelectivePrediction
+
+__all__ = ["SoftmaxResponseSelector"]
+
+
+@dataclass
+class SoftmaxResponseSelector:
+    """Wrap a trained :class:`WaferCNN` with SR-based rejection.
+
+    Parameters
+    ----------
+    model:
+        A trained full-coverage classifier.
+    threshold:
+        Confidence threshold on the max softmax probability; predictions
+        below it abstain.  Calibrate with :meth:`calibrate_coverage`.
+
+    Example
+    -------
+    >>> selector = SoftmaxResponseSelector(model)          # doctest: +SKIP
+    >>> selector.calibrate_coverage(val_x, val_y, 0.5)     # doctest: +SKIP
+    >>> pred = selector.predict_selective(test_x)          # doctest: +SKIP
+    """
+
+    model: WaferCNN
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.calibration: Optional[CalibrationResult] = None
+
+    # ------------------------------------------------------------------
+    def confidence(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Max softmax probability per sample — the SR score."""
+        probabilities = self.model.predict_proba(inputs, batch_size=batch_size)
+        if len(probabilities) == 0:
+            return np.empty((0,), dtype=np.float32)
+        return probabilities.max(axis=1)
+
+    def calibrate_coverage(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        target_coverage: float,
+    ) -> CalibrationResult:
+        """Choose the SR threshold realizing ``target_coverage`` on a
+        validation set; stores and returns the calibration."""
+        probabilities = self.model.predict_proba(inputs)
+        scores = probabilities.max(axis=1)
+        correct = probabilities.argmax(axis=1) == np.asarray(labels)
+        self.calibration = threshold_for_coverage(scores, target_coverage, correct)
+        self.threshold = self.calibration.threshold
+        return self.calibration
+
+    def predict_selective(
+        self,
+        inputs: np.ndarray,
+        threshold: Optional[float] = None,
+        batch_size: int = 256,
+    ) -> SelectivePrediction:
+        """Selective inference using SR confidence as ``g``."""
+        tau = self.threshold if threshold is None else float(threshold)
+        probabilities = self.model.predict_proba(inputs, batch_size=batch_size)
+        if len(probabilities) == 0:
+            return SelectivePrediction(
+                labels=np.empty((0,), dtype=np.int64),
+                raw_labels=np.empty((0,), dtype=np.int64),
+                selection_scores=np.empty((0,), dtype=np.float32),
+                accepted=np.empty((0,), dtype=bool),
+                probabilities=probabilities,
+            )
+        scores = probabilities.max(axis=1)
+        raw_labels = probabilities.argmax(axis=1)
+        accepted = scores >= tau
+        return SelectivePrediction(
+            labels=np.where(accepted, raw_labels, ABSTAIN).astype(np.int64),
+            raw_labels=raw_labels.astype(np.int64),
+            selection_scores=scores.astype(np.float32),
+            accepted=accepted,
+            probabilities=probabilities,
+        )

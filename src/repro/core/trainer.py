@@ -1,0 +1,236 @@
+"""Training loops for the full-coverage CNN and the SelectiveNet.
+
+The paper trains with Adam for 100 epochs, lambda = alpha = 0.5; the
+:class:`TrainConfig` defaults mirror that, with batch size and epochs
+scaled to what the numpy substrate can run in reasonable time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import BatchIterator, WaferDataset
+from .cnn import WaferCNN
+from .losses import selectivenet_objective
+from .selective import SelectiveNet
+
+__all__ = ["TrainConfig", "EpochStats", "TrainHistory", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters shared by both training modes.
+
+    ``target_coverage=1.0`` trains a plain cross-entropy model (the
+    paper's full-coverage setup); anything below 1.0 trains the Eq. 9
+    selective objective.
+    """
+
+    epochs: int = 30
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    target_coverage: float = 1.0
+    lam: float = 0.5
+    alpha: float = 0.5
+    weight_decay: float = 0.0
+    penalty_mode: str = "symmetric"
+    grad_clip: Optional[float] = None
+    early_stopping_patience: Optional[int] = None
+    seed: int = 0
+    shuffle: bool = True
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if not 0.0 < self.target_coverage <= 1.0:
+            raise ValueError("target_coverage must be in (0, 1]")
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise ValueError("grad_clip must be positive when set")
+        if self.early_stopping_patience is not None and self.early_stopping_patience <= 0:
+            raise ValueError("early_stopping_patience must be positive when set")
+
+
+@dataclass
+class EpochStats:
+    """Metrics recorded after each epoch."""
+
+    epoch: int
+    loss: float
+    train_accuracy: float
+    coverage: float
+    selective_risk: float
+    seconds: float
+    val_accuracy: Optional[float] = None
+
+
+@dataclass
+class TrainHistory:
+    """Accumulated per-epoch statistics."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    @property
+    def final(self) -> EpochStats:
+        if not self.epochs:
+            raise ValueError("no epochs recorded")
+        return self.epochs[-1]
+
+    def losses(self) -> List[float]:
+        return [e.loss for e in self.epochs]
+
+
+class Trainer:
+    """Trains either a :class:`WaferCNN` or a :class:`SelectiveNet`.
+
+    The mode is inferred from the model type: a plain CNN always trains
+    with weighted cross-entropy; a SelectiveNet trains with the Eq. 9
+    objective when ``config.target_coverage < 1`` and degenerates to
+    cross-entropy (alpha effectively 0) at full coverage.
+    """
+
+    def __init__(self, model: nn.Module, config: Optional[TrainConfig] = None) -> None:
+        if not isinstance(model, (WaferCNN, SelectiveNet)):
+            raise TypeError("Trainer supports WaferCNN and SelectiveNet models")
+        self.model = model
+        self.config = config if config is not None else TrainConfig()
+        self.optimizer = nn.Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.history = TrainHistory()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: WaferDataset,
+        validation: Optional[WaferDataset] = None,
+        callback: Optional[Callable[[EpochStats], None]] = None,
+    ) -> TrainHistory:
+        """Run the configured number of epochs; returns the history."""
+        if len(train) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        batches = BatchIterator(
+            train,
+            batch_size=self.config.batch_size,
+            rng=self._rng,
+            shuffle=self.config.shuffle,
+        )
+        best_val = -np.inf
+        epochs_without_improvement = 0
+        for epoch in range(1, self.config.epochs + 1):
+            stats = self._run_epoch(epoch, batches)
+            if validation is not None:
+                stats.val_accuracy = self._quick_accuracy(validation)
+            self.history.append(stats)
+            if callback is not None:
+                callback(stats)
+            if self.config.verbose:
+                val = f" val_acc={stats.val_accuracy:.3f}" if stats.val_accuracy is not None else ""
+                print(
+                    f"epoch {epoch:3d} loss={stats.loss:.4f} "
+                    f"acc={stats.train_accuracy:.3f} cov={stats.coverage:.3f}{val}"
+                )
+            patience = self.config.early_stopping_patience
+            if patience is not None and stats.val_accuracy is not None:
+                if stats.val_accuracy > best_val + 1e-9:
+                    best_val = stats.val_accuracy
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= patience:
+                        if self.config.verbose:
+                            print(f"early stop at epoch {epoch}")
+                        break
+        return self.history
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self, epoch: int, batches: BatchIterator) -> EpochStats:
+        self.model.train()
+        started = time.perf_counter()
+        total_loss = 0.0
+        total_correct = 0
+        total_samples = 0
+        coverage_sum = 0.0
+        risk_sum = 0.0
+        batch_count = 0
+
+        selective = isinstance(self.model, SelectiveNet) and self.config.target_coverage < 1.0
+
+        for inputs, labels, weights in batches:
+            tensor = nn.Tensor(inputs)
+            if selective:
+                logits, selection = self.model(tensor)
+                terms = selectivenet_objective(
+                    logits,
+                    selection,
+                    labels,
+                    target_coverage=self.config.target_coverage,
+                    lam=self.config.lam,
+                    alpha=self.config.alpha,
+                    sample_weights=weights,
+                    penalty_mode=self.config.penalty_mode,
+                )
+                loss = terms.total
+                coverage_sum += terms.coverage
+                risk_sum += terms.selective_risk
+            else:
+                outputs = self.model(tensor)
+                logits = outputs[0] if isinstance(outputs, tuple) else outputs
+                loss = nn.cross_entropy(logits, labels, sample_weights=weights)
+                coverage_sum += 1.0
+                risk_sum += float(loss.data)
+
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.config.grad_clip is not None:
+                self._clip_gradients(self.config.grad_clip)
+            self.optimizer.step()
+
+            total_loss += float(loss.data) * len(labels)
+            total_correct += int((logits.data.argmax(axis=1) == labels).sum())
+            total_samples += len(labels)
+            batch_count += 1
+
+        return EpochStats(
+            epoch=epoch,
+            loss=total_loss / max(total_samples, 1),
+            train_accuracy=total_correct / max(total_samples, 1),
+            coverage=coverage_sum / max(batch_count, 1),
+            selective_risk=risk_sum / max(batch_count, 1),
+            seconds=time.perf_counter() - started,
+        )
+
+    def _clip_gradients(self, max_norm: float) -> None:
+        """Scale all gradients so their global L2 norm is <= max_norm."""
+        total = 0.0
+        for param in self.model.parameters():
+            if param.grad is not None:
+                total += float((param.grad.astype(np.float64) ** 2).sum())
+        norm = np.sqrt(total)
+        if norm > max_norm:
+            scale = max_norm / (norm + 1e-12)
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    param.grad *= scale
+
+    def _quick_accuracy(self, dataset: WaferDataset) -> float:
+        inputs = dataset.tensors()
+        if isinstance(self.model, SelectiveNet):
+            probabilities, _ = self.model.predict_batched(inputs)
+            predictions = probabilities.argmax(axis=1)
+        else:
+            predictions = self.model.predict(inputs)
+        if len(dataset) == 0:
+            return 0.0
+        return float((predictions == dataset.labels).mean())

@@ -1,0 +1,71 @@
+"""Wafer-map data substrate: representation, synthesis, datasets.
+
+Because the WM-811K Kaggle dataset cannot be downloaded offline, this
+package synthesizes a faithful surrogate: nine parametric defect
+pattern generators over a circular die grid with the paper's 3-level
+encoding and class-imbalance profile.  See DESIGN.md for the full
+substitution rationale.
+"""
+
+from . import patterns, wafer
+from .dataset import BatchIterator, WaferDataset, stratified_split
+from .generator import (
+    PAPER_TEST_COUNTS,
+    PAPER_TRAIN_COUNTS,
+    generate_dataset,
+    generate_paper_profile,
+    scaled_counts,
+)
+from .interchange import KAGGLE_NAME_MAP, load_interchange
+from .io import load_dataset, save_dataset
+from .patterns import CLASS_NAMES, PATTERN_CLASSES, make_generator
+from .wafer import (
+    FAIL,
+    OFF,
+    PASS,
+    add_salt_pepper,
+    disk_mask,
+    failure_rate,
+    grid_to_pixels,
+    grid_to_tensor,
+    pixels_to_grid,
+    quantize_to_levels,
+    render_ascii,
+    resize_grid,
+    rotate_grid,
+    tensor_to_grid,
+)
+
+__all__ = [
+    "patterns",
+    "wafer",
+    "WaferDataset",
+    "BatchIterator",
+    "stratified_split",
+    "generate_dataset",
+    "generate_paper_profile",
+    "scaled_counts",
+    "PAPER_TRAIN_COUNTS",
+    "PAPER_TEST_COUNTS",
+    "save_dataset",
+    "load_dataset",
+    "load_interchange",
+    "KAGGLE_NAME_MAP",
+    "CLASS_NAMES",
+    "PATTERN_CLASSES",
+    "make_generator",
+    "OFF",
+    "PASS",
+    "FAIL",
+    "disk_mask",
+    "grid_to_pixels",
+    "pixels_to_grid",
+    "grid_to_tensor",
+    "tensor_to_grid",
+    "quantize_to_levels",
+    "rotate_grid",
+    "add_salt_pepper",
+    "resize_grid",
+    "failure_rate",
+    "render_ascii",
+]

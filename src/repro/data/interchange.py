@@ -1,0 +1,122 @@
+"""Loading real WM-811K data from a simple interchange format.
+
+The Kaggle WM-811K dump (``LSWMD.pkl``) is a pandas pickle that cannot
+be shipped or parsed here (no pandas offline, and the data is not
+redistributable).  For users who *do* have the dataset, this module
+defines a tiny interchange layout that a five-line pandas script can
+produce, and loads it into a :class:`WaferDataset`:
+
+``<root>/``
+    ``maps.npy``    — object array or uint8 array of die grids.  Values
+    follow the Kaggle convention {0: off-wafer, 1: pass, 2: fail},
+    which is exactly this package's internal encoding.
+    ``labels.txt``  — one class name per line (the Kaggle
+    ``failureType`` strings; see :data:`KAGGLE_NAME_MAP`).
+
+Conversion snippet (run wherever pandas + the pickle are available)::
+
+    import numpy as np, pandas as pd
+    df = pd.read_pickle("LSWMD.pkl")
+    df = df[df.failureType.map(lambda t: len(t) > 0)]
+    np.save("maps.npy", np.array([m for m in df.waferMap], dtype=object),
+            allow_pickle=True)
+    with open("labels.txt", "w") as f:
+        f.writelines(str(t[0][0]) + "\\n" for t in df.failureType)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .dataset import WaferDataset
+from .patterns import CLASS_NAMES
+from .wafer import resize_grid
+
+__all__ = ["KAGGLE_NAME_MAP", "load_interchange"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Kaggle ``failureType`` strings -> this package's canonical names.
+KAGGLE_NAME_MAP: Dict[str, str] = {
+    "Center": "Center",
+    "Donut": "Donut",
+    "Edge-Loc": "Edge-Loc",
+    "Edge-Ring": "Edge-Ring",
+    "Loc": "Location",
+    "Near-full": "Near-Full",
+    "Random": "Random",
+    "Scratch": "Scratch",
+    "none": "None",
+}
+
+
+def load_interchange(
+    root: PathLike,
+    size: int = 64,
+    limit: Optional[int] = None,
+) -> WaferDataset:
+    """Load ``maps.npy`` + ``labels.txt`` into a :class:`WaferDataset`.
+
+    Maps are nearest-neighbour-rescaled to ``size`` (the paper rescales
+    all maps to a common resolution).  Unknown label strings raise with
+    the offending value so conversion bugs surface immediately.
+
+    Parameters
+    ----------
+    root:
+        Directory containing the two interchange files.
+    size:
+        Target die-grid side length.
+    limit:
+        Optionally cap the number of maps loaded (useful for fast
+        experimentation on the 800k-map full dump).
+    """
+    root = os.fspath(root)
+    maps_path = os.path.join(root, "maps.npy")
+    labels_path = os.path.join(root, "labels.txt")
+    if not os.path.exists(maps_path) or not os.path.exists(labels_path):
+        raise FileNotFoundError(
+            f"interchange files not found under {root!r} "
+            "(expected maps.npy and labels.txt)"
+        )
+
+    raw_maps = np.load(maps_path, allow_pickle=True)
+    with open(labels_path) as handle:
+        raw_labels = [line.strip() for line in handle if line.strip()]
+    if len(raw_maps) != len(raw_labels):
+        raise ValueError(
+            f"maps.npy has {len(raw_maps)} maps but labels.txt has "
+            f"{len(raw_labels)} labels"
+        )
+    if limit is not None:
+        raw_maps = raw_maps[:limit]
+        raw_labels = raw_labels[:limit]
+
+    name_to_index = {name: i for i, name in enumerate(CLASS_NAMES)}
+    grids = []
+    labels = []
+    for raw_map, raw_label in zip(raw_maps, raw_labels):
+        canonical = KAGGLE_NAME_MAP.get(raw_label, raw_label)
+        if canonical not in name_to_index:
+            known = sorted(set(KAGGLE_NAME_MAP) | set(CLASS_NAMES))
+            raise ValueError(f"unknown label {raw_label!r}; expected one of {known}")
+        grid = np.asarray(raw_map, dtype=np.uint8)
+        if grid.ndim != 2:
+            raise ValueError(f"map has invalid shape {grid.shape}")
+        if grid.max(initial=0) > 2:
+            raise ValueError("map values must be in {0, 1, 2}")
+        if grid.shape != (size, size):
+            grid = resize_grid(grid, size)
+        grids.append(grid)
+        labels.append(name_to_index[canonical])
+
+    if not grids:
+        return WaferDataset(
+            np.empty((0, size, size), dtype=np.uint8),
+            np.empty((0,), dtype=np.int64),
+            CLASS_NAMES,
+        )
+    return WaferDataset(np.stack(grids), np.asarray(labels, dtype=np.int64), CLASS_NAMES)

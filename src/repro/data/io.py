@@ -1,0 +1,38 @@
+"""Dataset persistence to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from .dataset import WaferDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_dataset(dataset: WaferDataset, path: PathLike) -> None:
+    """Write a dataset (grids, labels, class names, weights) to npz."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    payload = {
+        "grids": dataset.grids,
+        "labels": dataset.labels,
+        "class_names": np.array(json.dumps(list(dataset.class_names))),
+    }
+    if dataset.sample_weights is not None:
+        payload["sample_weights"] = dataset.sample_weights
+    np.savez_compressed(os.fspath(path), **payload)
+
+
+def load_dataset(path: PathLike) -> WaferDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(os.fspath(path)) as archive:
+        class_names = tuple(json.loads(str(archive["class_names"])))
+        weights = archive["sample_weights"] if "sample_weights" in archive.files else None
+        return WaferDataset(archive["grids"], archive["labels"], class_names, weights)

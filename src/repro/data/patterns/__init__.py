@@ -1,0 +1,79 @@
+"""Synthetic generators for the nine WM-811K defect pattern classes.
+
+The registry :data:`PATTERN_CLASSES` maps canonical class names (in the
+paper's Table II order) to generator types; :func:`make_generator`
+instantiates one by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .base import PatternGenerator, bernoulli_wafer, polar_coordinates
+from .center import CenterPattern
+from .donut import DonutPattern
+from .edge_loc import EdgeLocPattern
+from .edge_ring import EdgeRingPattern
+from .location import LocationPattern
+from .mixed import MixedPattern
+from .near_full import NearFullPattern
+from .none_pattern import NonePattern
+from .novel import (
+    CheckerboardPattern,
+    GridPattern,
+    HalfMoonPattern,
+    NOVEL_PATTERN_CLASSES,
+    make_novel_generator,
+)
+from .random_pattern import RandomPattern
+from .scratch import ScratchPattern
+
+__all__ = [
+    "PatternGenerator",
+    "polar_coordinates",
+    "bernoulli_wafer",
+    "CenterPattern",
+    "DonutPattern",
+    "EdgeLocPattern",
+    "EdgeRingPattern",
+    "LocationPattern",
+    "NearFullPattern",
+    "RandomPattern",
+    "ScratchPattern",
+    "NonePattern",
+    "MixedPattern",
+    "PATTERN_CLASSES",
+    "CLASS_NAMES",
+    "make_generator",
+    "GridPattern",
+    "HalfMoonPattern",
+    "CheckerboardPattern",
+    "NOVEL_PATTERN_CLASSES",
+    "make_novel_generator",
+]
+
+#: Class name -> generator type, in the paper's Table II row order.
+PATTERN_CLASSES: Dict[str, Type[PatternGenerator]] = {
+    "Center": CenterPattern,
+    "Donut": DonutPattern,
+    "Edge-Loc": EdgeLocPattern,
+    "Edge-Ring": EdgeRingPattern,
+    "Location": LocationPattern,
+    "Near-Full": NearFullPattern,
+    "Random": RandomPattern,
+    "Scratch": ScratchPattern,
+    "None": NonePattern,
+}
+
+#: Canonical class order used throughout the reproduction.
+CLASS_NAMES = tuple(PATTERN_CLASSES)
+
+
+def make_generator(name: str, size: int = 64) -> PatternGenerator:
+    """Instantiate the generator for a class name from the registry."""
+    try:
+        cls = PATTERN_CLASSES[name]
+    except KeyError:
+        known = ", ".join(CLASS_NAMES)
+        raise ValueError(f"unknown pattern class {name!r}; expected one of: {known}") from None
+    return cls(size=size)

@@ -1,0 +1,135 @@
+"""Shared machinery for synthetic defect-pattern generators.
+
+Each WM-811K defect class is modeled as a spatial *failure-probability
+field* over the wafer disk; sampling a wafer draws Bernoulli failures
+from that field and superimposes a low-rate background of random
+failures (real wafers always contain some).  Generators are
+parameterized so that every draw varies in position, size, density and
+orientation — giving the classifier the same intra-class variation the
+industrial dataset exhibits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Tuple
+
+import numpy as np
+
+from ..wafer import FAIL, OFF, PASS, disk_mask
+
+__all__ = ["PatternGenerator", "polar_coordinates", "bernoulli_wafer"]
+
+
+def polar_coordinates(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(r, theta)`` grids for a ``size x size`` wafer.
+
+    ``r`` is normalized so the wafer edge sits at 1.0; ``theta`` is in
+    radians in ``[-pi, pi]``.
+    """
+    center = (size - 1) / 2.0
+    yy, xx = np.mgrid[0:size, 0:size]
+    dy = yy - center
+    dx = xx - center
+    r = np.sqrt(dy ** 2 + dx ** 2) / (size / 2.0)
+    theta = np.arctan2(dy, dx)
+    return r, theta
+
+
+def bernoulli_wafer(
+    fail_probability: np.ndarray,
+    mask: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample a die grid from a per-location failure-probability field."""
+    draws = rng.random(fail_probability.shape)
+    grid = np.where(draws < fail_probability, FAIL, PASS).astype(np.uint8)
+    grid[~mask] = OFF
+    return grid
+
+
+@dataclass
+class PatternGenerator(ABC):
+    """Base class for per-class wafer generators.
+
+    Parameters
+    ----------
+    size:
+        Die-grid side length.
+    background_rate:
+        ``(low, high)`` range for the per-wafer uniform draw of the
+        random background failure probability.
+    deformation:
+        Strength of smooth multiplicative field deformation simulating
+        process nonuniformity.  Real WM-811K patterns are irregular —
+        an edge ring has weak and strong sectors, center blobs are
+        lopsided.  0 disables; 0.5 (default) modulates the failure
+        field by a smooth random factor in roughly [1-d, 1+d].
+    """
+
+    size: int = 64
+    background_rate: Tuple[float, float] = (0.005, 0.04)
+    deformation: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.size < 8:
+            raise ValueError("pattern generators require size >= 8")
+        if not 0.0 <= self.deformation < 1.0:
+            raise ValueError("deformation must be in [0, 1)")
+        self.mask = disk_mask(self.size)
+        self.r, self.theta = polar_coordinates(self.size)
+
+    #: Canonical WM-811K class name; subclasses override.  ClassVar so
+    #: dataclass machinery does not turn it into an instance field.
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        """Return this draw's failure-probability field (values in [0,1])."""
+
+    def _deformation_field(self, rng: np.random.Generator) -> np.ndarray:
+        """Smooth multiplicative modulation field around 1.0.
+
+        A coarse random grid is smoothly upsampled to wafer size,
+        yielding spatially-correlated "process weather".
+        """
+        from scipy import ndimage
+
+        coarse = rng.uniform(1.0 - self.deformation, 1.0 + self.deformation, size=(4, 4))
+        zoom = self.size / 4.0
+        smooth = ndimage.zoom(coarse, zoom, order=3)[: self.size, : self.size]
+        return np.clip(smooth, 0.0, 2.0)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one wafer: pattern field x deformation + background noise."""
+        field = self.failure_field(rng)
+        if self.deformation > 0.0:
+            field = field * self._deformation_field(rng)
+        background = rng.uniform(*self.background_rate)
+        field = np.clip(field + background, 0.0, 1.0)
+        return bernoulli_wafer(field, self.mask, rng)
+
+    def sample_batch(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` wafers, shape ``(count, size, size)``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.stack([self.sample(rng) for _ in range(count)]) if count else np.empty(
+            (0, self.size, self.size), dtype=np.uint8
+        )
+
+    def _soft_region(self, inside: np.ndarray, density: float, softness: float = 0.0) -> np.ndarray:
+        """Probability field that is ``density`` inside a region, 0 outside.
+
+        ``softness`` blurs the boundary by mixing in a smaller
+        probability in a dilated border; kept simple (hard boundary)
+        when 0.
+        """
+        field = np.where(inside, density, 0.0)
+        if softness > 0.0:
+            from scipy import ndimage
+
+            blurred = ndimage.uniform_filter(inside.astype(np.float64), size=3)
+            border = (blurred > 0) & (~inside)
+            field = np.where(border, density * softness, field)
+        return field

@@ -1,0 +1,35 @@
+"""Center defect pattern: a dense failure cluster at the wafer center."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["CenterPattern"]
+
+
+@dataclass
+class CenterPattern(PatternGenerator):
+    """Failures concentrated in a disk around the wafer center.
+
+    Draw-to-draw variation: cluster radius, failure density, and a
+    small random offset of the cluster centroid (process-induced center
+    defects are rarely perfectly centered).
+    """
+
+    name = "Center"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        radius = rng.uniform(0.18, 0.4)
+        density = rng.uniform(0.6, 0.95)
+        offset = rng.uniform(-0.06, 0.06, size=2)
+        center = (self.size - 1) / 2.0
+        yy, xx = np.mgrid[0:self.size, 0:self.size]
+        dy = (yy - center) / (self.size / 2.0) - offset[0]
+        dx = (xx - center) / (self.size / 2.0) - offset[1]
+        r = np.sqrt(dy ** 2 + dx ** 2)
+        inside = r <= radius
+        return self._soft_region(inside, density, softness=0.4)

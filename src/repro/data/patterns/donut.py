@@ -1,0 +1,29 @@
+"""Donut defect pattern: an annulus of failures around the center."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["DonutPattern"]
+
+
+@dataclass
+class DonutPattern(PatternGenerator):
+    """Failures on a ring at mid-radius, leaving the center clean.
+
+    Variation: inner radius, ring thickness, and failure density.
+    """
+
+    name = "Donut"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        inner = rng.uniform(0.25, 0.45)
+        thickness = rng.uniform(0.18, 0.32)
+        density = rng.uniform(0.6, 0.95)
+        outer = min(inner + thickness, 0.85)
+        inside = (self.r >= inner) & (self.r <= outer)
+        return self._soft_region(inside, density, softness=0.35)

@@ -1,0 +1,37 @@
+"""Edge-Loc defect pattern: a localized arc of failures at the wafer edge."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["EdgeLocPattern"]
+
+
+def angular_distance(theta: np.ndarray, center: float) -> np.ndarray:
+    """Absolute angular distance handling the -pi/pi wrap-around."""
+    diff = np.abs(theta - center)
+    return np.minimum(diff, 2 * np.pi - diff)
+
+
+@dataclass
+class EdgeLocPattern(PatternGenerator):
+    """Failures in an arc segment hugging the edge.
+
+    Variation: arc position, arc half-width (30-60 degrees of halfwidth
+    range keeps it clearly local, distinguishing it from Edge-Ring),
+    radial depth, and density.
+    """
+
+    name = "Edge-Loc"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        angle = rng.uniform(-np.pi, np.pi)
+        half_width = rng.uniform(np.deg2rad(15), np.deg2rad(55))
+        depth = rng.uniform(0.12, 0.3)
+        density = rng.uniform(0.65, 0.95)
+        inside = (self.r >= 1.0 - depth) & (angular_distance(self.theta, angle) <= half_width)
+        return self._soft_region(inside, density, softness=0.35)

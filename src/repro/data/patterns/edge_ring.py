@@ -1,0 +1,33 @@
+"""Edge-Ring defect pattern: a thin ring of failures at the wafer rim."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+from .edge_loc import angular_distance
+
+__all__ = ["EdgeRingPattern"]
+
+
+@dataclass
+class EdgeRingPattern(PatternGenerator):
+    """Failures along (almost) the full circumference at the rim.
+
+    Variation: ring thickness, density, and an optional angular gap
+    (real edge rings are often interrupted where the notch sits).
+    """
+
+    name = "Edge-Ring"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        thickness = rng.uniform(0.06, 0.16)
+        density = rng.uniform(0.75, 0.98)
+        ring = self.r >= 1.0 - thickness
+        if rng.random() < 0.35:
+            gap_center = rng.uniform(-np.pi, np.pi)
+            gap_half_width = rng.uniform(np.deg2rad(5), np.deg2rad(20))
+            ring = ring & (angular_distance(self.theta, gap_center) > gap_half_width)
+        return self._soft_region(ring, density)

@@ -1,0 +1,45 @@
+"""Location (Loc) defect pattern: a failure cluster away from the center."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["LocationPattern"]
+
+
+@dataclass
+class LocationPattern(PatternGenerator):
+    """A localized blob of failures at a random interior position.
+
+    Distinguished from Center by its centroid sitting at mid-radius and
+    from Edge-Loc by staying clear of the rim.  Variation: centroid
+    position, blob radius, anisotropy (blobs are slightly elliptical),
+    and density.
+    """
+
+    name = "Location"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        centroid_r = rng.uniform(0.25, 0.6)
+        centroid_theta = rng.uniform(-np.pi, np.pi)
+        radius = rng.uniform(0.12, 0.25)
+        density = rng.uniform(0.6, 0.95)
+        aspect = rng.uniform(0.6, 1.0)
+        tilt = rng.uniform(0, np.pi)
+
+        center = (self.size - 1) / 2.0
+        cy = center + centroid_r * np.sin(centroid_theta) * (self.size / 2.0)
+        cx = center + centroid_r * np.cos(centroid_theta) * (self.size / 2.0)
+        yy, xx = np.mgrid[0:self.size, 0:self.size]
+        dy = (yy - cy) / (self.size / 2.0)
+        dx = (xx - cx) / (self.size / 2.0)
+        # Rotate into the ellipse frame, squeeze one axis.
+        u = dx * np.cos(tilt) + dy * np.sin(tilt)
+        v = -dx * np.sin(tilt) + dy * np.cos(tilt)
+        r = np.sqrt(u ** 2 + (v / aspect) ** 2)
+        inside = r <= radius
+        return self._soft_region(inside, density, softness=0.4)

@@ -1,0 +1,54 @@
+"""Mixed defect pattern: two defect types on the same wafer.
+
+The paper motivates the reject option in part by wafers that "exhibit
+more than one defect pattern which can overwhelm the classification
+model".  WM-811K labels such maps with a single class; this generator
+produces them explicitly so the selective model's behaviour on
+multi-pattern wafers can be studied (they are *not* part of the
+standard 9-class dataset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["MixedPattern"]
+
+
+@dataclass
+class MixedPattern(PatternGenerator):
+    """Superposition of two component patterns' failure fields.
+
+    Parameters
+    ----------
+    components:
+        The two (or more) pattern generators to combine.  They must
+        share this generator's ``size``.
+    """
+
+    components: Sequence[PatternGenerator] = field(default_factory=tuple)
+
+    name = "Mixed"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.components) < 2:
+            raise ValueError("MixedPattern needs at least two component patterns")
+        for component in self.components:
+            if component.size != self.size:
+                raise ValueError("all component patterns must share the same size")
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        combined = np.zeros((self.size, self.size))
+        for component in self.components:
+            combined = np.maximum(combined, component.failure_field(rng))
+        return combined
+
+    def component_names(self) -> Tuple[str, ...]:
+        """Names of the superimposed defect classes."""
+        return tuple(component.name for component in self.components)

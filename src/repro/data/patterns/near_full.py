@@ -1,0 +1,27 @@
+"""Near-Full defect pattern: nearly the whole wafer fails."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["NearFullPattern"]
+
+
+@dataclass
+class NearFullPattern(PatternGenerator):
+    """Catastrophic wafers with 80-97% failure everywhere.
+
+    Variation: global failure density and a weak radial gradient (some
+    near-full wafers retain a small surviving region).
+    """
+
+    name = "Near-Full"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        density = rng.uniform(0.8, 0.97)
+        gradient = rng.uniform(-0.1, 0.1)
+        return np.clip(density + gradient * self.r, 0.0, 0.99)

@@ -1,0 +1,26 @@
+"""None pattern: no systematic defect, only background noise."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["NonePattern"]
+
+
+@dataclass
+class NonePattern(PatternGenerator):
+    """A healthy wafer — random isolated failures only.
+
+    This is the heavy majority class of WM-811K (29,357 of 43,484
+    training maps in the paper's split).
+    """
+
+    name = "None"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        # The background added by PatternGenerator.sample IS the pattern.
+        return np.zeros((self.size, self.size))

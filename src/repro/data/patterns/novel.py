@@ -1,0 +1,111 @@
+"""Novel defect patterns outside the nine WM-811K classes.
+
+The paper's Table IV emulates a *new* defect type by holding out one of
+the known classes.  These generators go further: they synthesize defect
+morphologies that exist in fab practice but not in the WM-811K label
+set, so new-defect-detection can be evaluated against patterns the
+model has genuinely never seen any relative of:
+
+* :class:`GridPattern` — a reticle/stepper signature: failures on a
+  regular grid of exposure fields.
+* :class:`HalfMoonPattern` — one half of the wafer fails (slit/coating
+  asymmetry).
+* :class:`CheckerboardPattern` — alternating exposure-field failure, a
+  classic dose-alternation signature.
+
+They are registered separately from the canonical classes so the
+standard dataset generator never mixes them in by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Type
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = [
+    "GridPattern",
+    "HalfMoonPattern",
+    "CheckerboardPattern",
+    "NOVEL_PATTERN_CLASSES",
+    "make_novel_generator",
+]
+
+
+@dataclass
+class GridPattern(PatternGenerator):
+    """Failures along a regular grid of horizontal/vertical lines.
+
+    Variation: grid pitch, line thickness, phase offset, density.
+    """
+
+    name = "Grid"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        pitch = int(rng.integers(4, max(6, self.size // 4)))
+        offset = int(rng.integers(0, pitch))
+        density = rng.uniform(0.6, 0.9)
+        field = np.zeros((self.size, self.size))
+        field[offset::pitch, :] = density
+        field[:, offset::pitch] = density
+        return field
+
+
+@dataclass
+class HalfMoonPattern(PatternGenerator):
+    """One half-plane of the wafer fails (random orientation).
+
+    Variation: cut angle, cut offset from center, density.
+    """
+
+    name = "Half-Moon"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        angle = rng.uniform(0, 2 * np.pi)
+        offset = rng.uniform(-0.2, 0.2)
+        density = rng.uniform(0.6, 0.95)
+        center = (self.size - 1) / 2.0
+        yy, xx = np.mgrid[0:self.size, 0:self.size]
+        dy = (yy - center) / (self.size / 2.0)
+        dx = (xx - center) / (self.size / 2.0)
+        signed_distance = dx * np.cos(angle) + dy * np.sin(angle) - offset
+        return np.where(signed_distance > 0, density, 0.0)
+
+
+@dataclass
+class CheckerboardPattern(PatternGenerator):
+    """Alternating square exposure fields fail.
+
+    Variation: field size, parity, density.
+    """
+
+    name = "Checkerboard"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        field_size = int(rng.integers(3, max(4, self.size // 5)))
+        parity = int(rng.integers(0, 2))
+        density = rng.uniform(0.6, 0.9)
+        yy, xx = np.mgrid[0:self.size, 0:self.size]
+        cells = (yy // field_size + xx // field_size) % 2
+        return np.where(cells == parity, density, 0.0)
+
+
+#: Novel (non-WM-811K) pattern registry.
+NOVEL_PATTERN_CLASSES: Dict[str, Type[PatternGenerator]] = {
+    "Grid": GridPattern,
+    "Half-Moon": HalfMoonPattern,
+    "Checkerboard": CheckerboardPattern,
+}
+
+
+def make_novel_generator(name: str, size: int = 64) -> PatternGenerator:
+    """Instantiate a novel-pattern generator by name."""
+    try:
+        cls = NOVEL_PATTERN_CLASSES[name]
+    except KeyError:
+        known = ", ".join(NOVEL_PATTERN_CLASSES)
+        raise ValueError(f"unknown novel pattern {name!r}; expected one of: {known}") from None
+    return cls(size=size)

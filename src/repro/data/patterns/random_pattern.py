@@ -1,0 +1,27 @@
+"""Random defect pattern: spatially uniform elevated failure rate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["RandomPattern"]
+
+
+@dataclass
+class RandomPattern(PatternGenerator):
+    """Uniform random failures at a rate well above background.
+
+    The rate range (18-45%) separates Random from None (few percent)
+    and Near-Full (>80%), matching how the classes read visually in
+    WM-811K.
+    """
+
+    name = "Random"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        rate = rng.uniform(0.18, 0.45)
+        return np.full((self.size, self.size), rate)

@@ -1,0 +1,50 @@
+"""Scratch defect pattern: a thin curved line of failures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PatternGenerator
+
+__all__ = ["ScratchPattern"]
+
+
+@dataclass
+class ScratchPattern(PatternGenerator):
+    """A handling scratch: a thin, gently curving polyline of failures.
+
+    Generated as a constant-curvature walk across the wafer; variation
+    covers start point, heading, curvature, length and (rarely) width.
+    Scratches are sparse patterns, which is what makes the class hard —
+    the paper's confusion matrix shows Scratch is the weakest class.
+    """
+
+    name = "Scratch"
+
+    def failure_field(self, rng: np.random.Generator) -> np.ndarray:
+        field = np.zeros((self.size, self.size))
+        density = rng.uniform(0.8, 0.98)
+        length = rng.uniform(0.6, 1.3) * self.size
+        steps = max(int(length), 8)
+        # Start somewhere in the central 70% so most of the scratch is on-wafer.
+        start = rng.uniform(0.15, 0.85, size=2) * self.size
+        heading = rng.uniform(0, 2 * np.pi)
+        curvature = rng.uniform(-0.05, 0.05)
+        wide = rng.random() < 0.25
+
+        y, x = start
+        for _ in range(steps):
+            iy, ix = int(round(y)), int(round(x))
+            if 0 <= iy < self.size and 0 <= ix < self.size:
+                field[iy, ix] = density
+                if wide:
+                    for dy, dx in ((0, 1), (1, 0)):
+                        ny, nx = iy + dy, ix + dx
+                        if 0 <= ny < self.size and 0 <= nx < self.size:
+                            field[ny, nx] = density
+            heading += curvature
+            y += np.sin(heading)
+            x += np.cos(heading)
+        return field

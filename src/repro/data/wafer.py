@@ -1,0 +1,232 @@
+"""Wafer-map representation and raster operations.
+
+WM-811K wafer maps are die grids with three states; the paper renders
+them as single-channel images with pixel levels:
+
+* ``0``   — location not on the wafer (outside the circular disk),
+* ``127`` — die that passed test,
+* ``255`` — die that failed test.
+
+Internally this package stores maps as small integer *die grids* with
+values :data:`OFF` (0), :data:`PASS` (1) and :data:`FAIL` (2); the
+helpers here convert between die grids, the paper's 3-level pixel
+images, and the normalized float tensors fed to the CNN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OFF",
+    "PASS",
+    "FAIL",
+    "PIXEL_LEVELS",
+    "disk_mask",
+    "grid_to_pixels",
+    "pixels_to_grid",
+    "grid_to_tensor",
+    "tensor_to_grid",
+    "quantize_to_levels",
+    "rotate_grid",
+    "add_salt_pepper",
+    "resize_grid",
+    "failure_rate",
+    "render_ascii",
+]
+
+OFF = 0
+PASS = 1
+FAIL = 2
+
+#: Pixel levels used by the paper's image representation, indexed by die state.
+PIXEL_LEVELS = np.array([0, 127, 255], dtype=np.uint8)
+
+#: Normalized tensor values, indexed by die state (0, 0.5, 1.0).
+_TENSOR_LEVELS = np.array([0.0, 0.5, 1.0], dtype=np.float32)
+
+
+def disk_mask(size: int, margin: float = 0.02) -> np.ndarray:
+    """Boolean mask of die locations on a circular wafer.
+
+    Parameters
+    ----------
+    size:
+        Side length of the square grid.
+    margin:
+        Fraction of the radius left empty at the border, so the disk
+        does not touch the image boundary (as in WM-811K renders).
+    """
+    if size < 4:
+        raise ValueError("wafer size must be at least 4")
+    radius = size / 2.0 * (1.0 - margin)
+    center = (size - 1) / 2.0
+    yy, xx = np.mgrid[0:size, 0:size]
+    return (yy - center) ** 2 + (xx - center) ** 2 <= radius ** 2
+
+
+def grid_to_pixels(grid: np.ndarray) -> np.ndarray:
+    """Convert a die grid {0,1,2} to the paper's {0,127,255} image."""
+    _check_grid(grid)
+    return PIXEL_LEVELS[grid]
+
+
+def pixels_to_grid(pixels: np.ndarray) -> np.ndarray:
+    """Convert a {0,127,255} pixel image back to a die grid {0,1,2}.
+
+    Pixels are snapped to the nearest of the three levels, so images
+    that went through lossy processing still decode.
+    """
+    levels = PIXEL_LEVELS.astype(np.float32)
+    distances = np.abs(pixels.astype(np.float32)[..., None] - levels[None, None, :])
+    return distances.argmin(axis=-1).astype(np.uint8)
+
+
+def grid_to_tensor(grid: np.ndarray) -> np.ndarray:
+    """Convert a die grid to a normalized float32 CNN input in [0, 1].
+
+    Output shape is ``(1, H, W)`` (channel-first, single channel).
+    """
+    _check_grid(grid)
+    return _TENSOR_LEVELS[grid][None, :, :]
+
+
+def tensor_to_grid(tensor: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`grid_to_tensor` with nearest-level snapping.
+
+    Accepts ``(H, W)`` or ``(1, H, W)`` float arrays with arbitrary
+    (e.g. auto-encoder output) values.
+    """
+    if tensor.ndim == 3:
+        tensor = tensor[0]
+    distances = np.abs(tensor.astype(np.float32)[..., None] - _TENSOR_LEVELS[None, None, :])
+    return distances.argmin(axis=-1).astype(np.uint8)
+
+
+def quantize_to_levels(
+    image: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    fail_count: Optional[int] = None,
+) -> np.ndarray:
+    """Quantize a continuous image to a valid 3-level die grid.
+
+    This is line 7 of Algorithm 1: auto-encoder reconstructions have a
+    continuous spectrum of values and must be mapped back to the three
+    wafer levels.  If a wafer ``mask`` is given, off-wafer locations are
+    forced to :data:`OFF` and on-wafer locations to PASS/FAIL (never
+    OFF), which keeps the wafer silhouette intact.
+
+    With ``fail_count`` set (requires ``mask``), quantization is
+    *count-matched*: the ``fail_count`` on-wafer dies with the highest
+    reconstructed intensity become FAIL.  This keeps the synthetic
+    wafer's failure density equal to its source wafer's even when the
+    auto-encoder's output is low-contrast (a lightly-trained decoder
+    otherwise quantizes to an almost-empty wafer under a fixed
+    threshold), which is essential for augmentation fidelity.
+    """
+    grid = tensor_to_grid(image)
+    if mask is None:
+        if fail_count is not None:
+            raise ValueError("fail_count requires a wafer mask")
+        return grid
+    if image.ndim == 3:
+        image = image[0]
+    image = image.astype(np.float32)
+    if fail_count is None:
+        on_wafer = np.where(image >= 0.75, FAIL, PASS).astype(np.uint8)
+    else:
+        on_wafer = np.full(image.shape, PASS, dtype=np.uint8)
+        wafer_values = np.where(mask, image, -np.inf)
+        count = int(np.clip(fail_count, 0, int(mask.sum())))
+        if count > 0:
+            flat = wafer_values.reshape(-1)
+            top = np.argpartition(flat, -count)[-count:]
+            on_wafer.reshape(-1)[top] = FAIL
+    grid = np.where(mask, on_wafer, OFF).astype(np.uint8)
+    return grid
+
+
+def rotate_grid(grid: np.ndarray, angle_degrees: float) -> np.ndarray:
+    """Rotate the defect pattern about the wafer center.
+
+    The wafer disk itself is rotation-invariant, so rotation only moves
+    the PASS/FAIL content.  Nearest-neighbour sampling keeps the result
+    a valid 3-level grid; die locations that rotate in from outside the
+    original disk are filled as PASS.
+    """
+    from scipy import ndimage
+
+    _check_grid(grid)
+    angle = float(angle_degrees) % 360.0
+    if angle == 0.0:
+        return grid.copy()
+    mask = grid != OFF
+    rotated = ndimage.rotate(grid, angle, reshape=False, order=0, mode="constant", cval=OFF)
+    result = np.where(mask, np.where(rotated == OFF, PASS, rotated), OFF)
+    return result.astype(np.uint8)
+
+
+def add_salt_pepper(
+    grid: np.ndarray,
+    flip_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Flip a random fraction of on-wafer die labels (Algorithm 1, line 9).
+
+    A flipped die switches PASS <-> FAIL; off-wafer locations are never
+    touched.
+    """
+    _check_grid(grid)
+    if not 0.0 <= flip_fraction <= 1.0:
+        raise ValueError("flip_fraction must be in [0, 1]")
+    result = grid.copy()
+    on_wafer = np.flatnonzero(grid != OFF)
+    count = int(round(flip_fraction * on_wafer.size))
+    if count == 0:
+        return result
+    chosen = rng.choice(on_wafer, size=count, replace=False)
+    flat = result.reshape(-1)
+    flat[chosen] = np.where(flat[chosen] == PASS, FAIL, PASS)
+    return result
+
+
+def resize_grid(grid: np.ndarray, size: int) -> np.ndarray:
+    """Nearest-neighbour resize of a die grid to ``size x size``.
+
+    WM-811K maps come in many native resolutions and the paper scales
+    them all to a fixed size; nearest-neighbour keeps the 3-level
+    alphabet exact.
+    """
+    _check_grid(grid)
+    h, w = grid.shape
+    rows = (np.arange(size) * h / size).astype(np.intp)
+    cols = (np.arange(size) * w / size).astype(np.intp)
+    return grid[np.ix_(rows, cols)]
+
+
+def failure_rate(grid: np.ndarray) -> float:
+    """Fraction of on-wafer dies that fail; 0.0 for an all-off grid."""
+    on_wafer = grid != OFF
+    total = int(on_wafer.sum())
+    if total == 0:
+        return 0.0
+    return float((grid[on_wafer] == FAIL).sum()) / total
+
+
+def render_ascii(grid: np.ndarray) -> str:
+    """Render a wafer map as ASCII art (``.`` off, ``o`` pass, ``#`` fail).
+
+    Useful for examples and debugging in a terminal-only environment.
+    """
+    _check_grid(grid)
+    chars = np.array([".", "o", "#"])
+    return "\n".join("".join(row) for row in chars[grid])
+
+
+def _check_grid(grid: np.ndarray) -> None:
+    if grid.ndim != 2:
+        raise ValueError(f"die grid must be 2-D, got shape {grid.shape}")
+    if grid.dtype.kind not in "iu":
+        raise ValueError(f"die grid must be integer, got dtype {grid.dtype}")

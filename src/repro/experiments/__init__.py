@@ -1,0 +1,57 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per artifact:
+
+* :mod:`repro.experiments.fig1` — sample wafer per class (Fig. 1);
+* :mod:`repro.experiments.table2` — selective learning sweep (Table II);
+* :mod:`repro.experiments.table3` — CNN vs SVM confusion matrices (Table III);
+* :mod:`repro.experiments.table4` — leave-one-class-out detection (Table IV);
+* :mod:`repro.experiments.fig4` — augmentation sample pairs (Fig. 4);
+* :mod:`repro.experiments.fig5` — risk-coverage trade-off curve (Fig. 5);
+* :mod:`repro.experiments.concept_shift` — coverage collapse under
+  distribution shift (Sec. IV-A / IV-D).
+
+Run them all with ``python -m repro.experiments.runner``.
+"""
+
+from .concept_shift import ConceptShiftResult, make_shifted_dataset, run_concept_shift
+from .config import PRESETS, ExperimentConfig, ExperimentData, get_preset
+from .data_discrepancy import DataDiscrepancyResult, run_data_discrepancy
+from .fig1 import Fig1Result, run_fig1
+from .novel_defects import NovelDefectResult, make_novel_dataset, run_novel_defects
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import PAPER_C0_GRID, Fig5Point, Fig5Result, run_fig5
+from .table2 import PAPER_COVERAGES, Table2Result, run_table2
+from .table3 import Table3Result, run_table3
+from .table4 import Table4Result, Table4Row, run_table4
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentData",
+    "PRESETS",
+    "get_preset",
+    "Fig1Result",
+    "run_fig1",
+    "Table2Result",
+    "run_table2",
+    "PAPER_COVERAGES",
+    "Table3Result",
+    "run_table3",
+    "Table4Result",
+    "Table4Row",
+    "run_table4",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Result",
+    "Fig5Point",
+    "run_fig5",
+    "PAPER_C0_GRID",
+    "ConceptShiftResult",
+    "run_concept_shift",
+    "make_shifted_dataset",
+    "DataDiscrepancyResult",
+    "run_data_discrepancy",
+    "NovelDefectResult",
+    "run_novel_defects",
+    "make_novel_dataset",
+]

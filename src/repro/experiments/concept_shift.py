@@ -1,0 +1,151 @@
+"""Experiment: Sec. IV-A / IV-D — concept-shift detection via coverage.
+
+The paper observes that when the test distribution drifts away from the
+training one, the selective model's realized coverage collapses far
+below the target — "raising a flag that the model needs to be
+retrained".  (They saw ~5% realized coverage at a 50% target on the
+incoherent WM-811K "Test" split.)
+
+This experiment reproduces the phenomenon by constructing a shifted
+test distribution: pattern generators with perturbed parameter ranges
+(heavier background noise) plus a slice of multi-defect (mixed) wafers,
+and comparing realized coverage on in-distribution vs shifted data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.augmentation import augment_dataset
+from ..core.pipeline import SelectiveWaferClassifier
+from ..data.dataset import WaferDataset
+from ..data.patterns import CLASS_NAMES, MixedPattern, make_generator
+from ..metrics.reporting import format_percent, format_table
+from ..metrics.selective import evaluate_selective
+from .config import ExperimentConfig, ExperimentData, get_preset
+
+__all__ = ["ConceptShiftResult", "run_concept_shift", "make_shifted_dataset"]
+
+
+def make_shifted_dataset(
+    counts: Dict[str, int],
+    size: int,
+    seed: int,
+    background_rate: Tuple[float, float] = (0.07, 0.12),
+    mixed_fraction: float = 0.5,
+) -> WaferDataset:
+    """Generate a distribution-shifted test set.
+
+    Shift mechanics: every class generator runs with a background
+    failure rate in the *ambiguity zone* between the None class
+    (<= 0.04) and the Random class (>= 0.18) — heavier noise would
+    simply recreate in-distribution Random wafers, which a correct
+    model rightly labels with confidence — and ``mixed_fraction`` of
+    the samples are replaced by two-pattern wafers (labeled with the
+    first component, as WM-811K would).
+    """
+    rng = np.random.default_rng(seed)
+    grids: List[np.ndarray] = []
+    labels: List[int] = []
+    names = tuple(counts)
+    for label, name in enumerate(names):
+        generator = make_generator(name, size=size)
+        generator.background_rate = background_rate
+        for _ in range(int(counts[name])):
+            if name != "None" and rng.random() < mixed_fraction:
+                partner_name = str(rng.choice([c for c in CLASS_NAMES if c not in (name, "None")]))
+                partner = make_generator(partner_name, size=size)
+                mixed = MixedPattern(size=size, components=(generator, partner))
+                mixed.background_rate = background_rate
+                grids.append(mixed.sample(rng))
+            else:
+                grids.append(generator.sample(rng))
+            labels.append(label)
+    return WaferDataset(np.stack(grids), np.array(labels), names)
+
+
+@dataclass
+class ConceptShiftResult:
+    """Coverage/accuracy on in-distribution vs shifted test sets."""
+
+    target_coverage: float
+    in_distribution_coverage: float
+    in_distribution_accuracy: float
+    shifted_coverage: float
+    shifted_accuracy: float
+
+    @property
+    def coverage_drop(self) -> float:
+        """Absolute drop in realized coverage caused by the shift."""
+        return self.in_distribution_coverage - self.shifted_coverage
+
+    def shift_flagged(self, collapse_ratio: float = 0.6) -> bool:
+        """Whether coverage collapsed below ``collapse_ratio * in-dist``."""
+        if self.in_distribution_coverage == 0:
+            return False
+        return self.shifted_coverage < collapse_ratio * self.in_distribution_coverage
+
+    def format_report(self) -> str:
+        rows = [
+            (
+                "in-distribution",
+                format_percent(self.in_distribution_coverage),
+                format_percent(self.in_distribution_accuracy),
+            ),
+            (
+                "shifted",
+                format_percent(self.shifted_coverage),
+                format_percent(self.shifted_accuracy),
+            ),
+        ]
+        return format_table(
+            ["test set", "realized coverage", "selective accuracy"],
+            rows,
+            title=f"Concept shift detection (target coverage {self.target_coverage})",
+        )
+
+
+def run_concept_shift(
+    config: Optional[ExperimentConfig] = None,
+    data: Optional[ExperimentData] = None,
+    target_coverage: float = 0.5,
+    use_augmentation: bool = True,
+    verbose: bool = False,
+) -> ConceptShiftResult:
+    """Train once, evaluate coverage on clean vs shifted test data."""
+    config = config if config is not None else get_preset("default")
+    if data is None:
+        data = config.make_data()
+
+    train = data.train
+    if use_augmentation:
+        train = augment_dataset(train, config.augmentation())
+
+    if verbose:
+        print("training SelectiveNet ...")
+    classifier = SelectiveWaferClassifier(
+        target_coverage=target_coverage,
+        backbone=config.backbone(),
+        train=config.train_config(target_coverage),
+    )
+    classifier.fit(train, validation=data.validation, calibrate=True)
+
+    clean_prediction = classifier.predict_dataset(data.test)
+    clean_eval = evaluate_selective(clean_prediction, data.test.labels, data.test.class_names)
+
+    shifted = make_shifted_dataset(
+        data.test.class_counts(), size=config.map_size, seed=config.seed + 999
+    )
+    shifted_prediction = classifier.predict_dataset(shifted)
+    shifted_eval = evaluate_selective(shifted_prediction, shifted.labels, shifted.class_names)
+
+    return ConceptShiftResult(
+        target_coverage=target_coverage,
+        in_distribution_coverage=clean_eval.overall_coverage,
+        in_distribution_accuracy=clean_eval.overall_accuracy,
+        shifted_coverage=shifted_eval.overall_coverage,
+        shifted_accuracy=shifted_eval.overall_accuracy,
+    )

@@ -1,0 +1,128 @@
+"""Experiment: Fig. 5 — selective accuracy and coverage vs c0.
+
+Sweeps the target coverage ``c0`` over {0.2, 0.5, 0.75, 1.0} (the
+paper's grid).  For ``c0 = 1`` the model trains with plain
+cross-entropy and covers the whole test set; below 1 the selective
+objective and threshold calibration apply.  The reproduced figure is
+the pair of series (selective accuracy, realized coverage) vs ``c0``
+showing the risk-coverage trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.augmentation import augment_dataset
+from ..core.pipeline import FullCoverageWaferClassifier, SelectiveWaferClassifier
+from ..metrics.classification import accuracy
+from ..metrics.reporting import format_table
+from ..metrics.selective import evaluate_selective
+from .config import ExperimentConfig, ExperimentData, get_preset
+
+__all__ = ["Fig5Point", "Fig5Result", "run_fig5", "PAPER_C0_GRID"]
+
+#: The c0 grid of Fig. 5.
+PAPER_C0_GRID = (0.2, 0.5, 0.75, 1.0)
+
+
+@dataclass
+class Fig5Point:
+    """One point of the Fig. 5 curves."""
+
+    target_coverage: float
+    selective_accuracy: float
+    realized_coverage: float
+
+
+@dataclass
+class Fig5Result:
+    """The two series of Fig. 5."""
+
+    points: List[Fig5Point]
+
+    def format_report(self) -> str:
+        return format_table(
+            ["c0", "selective accuracy", "test coverage"],
+            [
+                (p.target_coverage, p.selective_accuracy, p.realized_coverage)
+                for p in self.points
+            ],
+            title="Fig. 5: risk-coverage trade-off",
+            float_digits=3,
+        )
+
+    def accuracies(self) -> List[float]:
+        return [p.selective_accuracy for p in self.points]
+
+    def coverages(self) -> List[float]:
+        return [p.realized_coverage for p in self.points]
+
+    def plot(self, width: int = 56, height: int = 14) -> str:
+        """ASCII rendering of the Fig. 5 chart (two series vs c0)."""
+        from ..viz import line_plot
+
+        return line_plot(
+            [p.target_coverage for p in self.points],
+            [
+                ("selective accuracy", self.accuracies()),
+                ("test coverage", self.coverages()),
+            ],
+            width=width,
+            height=height,
+            title="Fig. 5: selective accuracy & coverage vs c0",
+            x_label="target coverage c0",
+            y_range=(0.0, 1.0),
+        )
+
+
+def run_fig5(
+    config: Optional[ExperimentConfig] = None,
+    coverages: Sequence[float] = PAPER_C0_GRID,
+    data: Optional[ExperimentData] = None,
+    use_augmentation: bool = True,
+    verbose: bool = False,
+) -> Fig5Result:
+    """Sweep c0 and record (selective accuracy, realized coverage)."""
+    config = config if config is not None else get_preset("default")
+    if data is None:
+        data = config.make_data()
+
+    train = data.train
+    if use_augmentation:
+        train = augment_dataset(train, config.augmentation())
+
+    points: List[Fig5Point] = []
+    for coverage in coverages:
+        if verbose:
+            print(f"c0={coverage} ...")
+        if coverage >= 1.0:
+            model = FullCoverageWaferClassifier(
+                backbone=config.backbone(), train=config.train_config(1.0)
+            )
+            model.fit(train, validation=data.validation)
+            predictions = model.predict_dataset(data.test)
+            points.append(
+                Fig5Point(
+                    target_coverage=1.0,
+                    selective_accuracy=accuracy(data.test.labels, predictions),
+                    realized_coverage=1.0,
+                )
+            )
+            continue
+        classifier = SelectiveWaferClassifier(
+            target_coverage=coverage,
+            backbone=config.backbone(),
+            train=config.train_config(coverage),
+        )
+        classifier.fit(train, validation=data.validation, calibrate=True)
+        prediction = classifier.predict_dataset(data.test)
+        evaluation = evaluate_selective(prediction, data.test.labels, data.test.class_names)
+        points.append(
+            Fig5Point(
+                target_coverage=coverage,
+                selective_accuracy=evaluation.overall_accuracy,
+                realized_coverage=evaluation.overall_coverage,
+            )
+        )
+    return Fig5Result(points=points)

@@ -1,0 +1,82 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment table2 --preset default
+    python -m repro.experiments.runner --experiment all --preset smoke
+
+Each run prints the reproduced table/figure in plain text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from .concept_shift import run_concept_shift
+from .config import PRESETS, get_preset
+from .data_discrepancy import run_data_discrepancy
+from .fig1 import run_fig1
+from .novel_defects import run_novel_defects
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_fig1_adapter(config, verbose: bool):
+    return run_fig1(size=config.map_size, seed=config.seed)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": _run_fig1_adapter,
+    "table2": lambda config, verbose: run_table2(config, verbose=verbose),
+    "table3": lambda config, verbose: run_table3(config, verbose=verbose),
+    "table4": lambda config, verbose: run_table4(config, verbose=verbose),
+    "fig4": lambda config, verbose: run_fig4(config, verbose=verbose),
+    "fig5": lambda config, verbose: run_fig5(config, verbose=verbose),
+    "concept_shift": lambda config, verbose: run_concept_shift(config, verbose=verbose),
+    "data_discrepancy": lambda config, verbose: run_data_discrepancy(config, verbose=verbose),
+    "novel_defects": lambda config, verbose: run_novel_defects(config, verbose=verbose),
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=sorted(PRESETS),
+        help="scale preset (see repro.experiments.config)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    overrides = {} if args.seed is None else {"seed": args.seed}
+    config = get_preset(args.preset, **overrides)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} (preset={args.preset}) ===")
+        started = time.perf_counter()
+        result = EXPERIMENTS[name](config, args.verbose)
+        elapsed = time.perf_counter() - started
+        print(result.format_report())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

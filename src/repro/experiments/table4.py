@@ -1,0 +1,149 @@
+"""Experiment: Table IV — new-defect-class detection by abstention.
+
+The paper's leave-one-class-out study: remove ``Near-Full`` from
+training, train a selective model at ``c0 = 0.5``, and test on all
+classes including the unseen one.  The "original" recall of the unseen
+class (ignoring the reject option) is necessarily 0 — the model can
+only emit the 8 known labels — but with selective learning the model
+should abstain on (nearly) all unseen-class samples, flagging the new
+defect type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.augmentation import augment_dataset
+from ..core.pipeline import SelectiveWaferClassifier
+from ..core.selective import ABSTAIN
+from ..metrics.reporting import format_table
+from .config import ExperimentConfig, ExperimentData, get_preset
+
+__all__ = ["Table4Row", "Table4Result", "run_table4"]
+
+
+@dataclass
+class Table4Row:
+    """One class row: original vs selective recall plus coverage."""
+
+    original_recall: float
+    selective_recall: Optional[float]
+    covered: int
+    support: int
+
+    @property
+    def coverage_fraction(self) -> float:
+        return self.covered / self.support if self.support else 0.0
+
+
+@dataclass
+class Table4Result:
+    """Results of the leave-one-class-out experiment."""
+
+    rows: Dict[str, Table4Row]
+    held_out: str
+    target_coverage: float
+
+    def format_report(self) -> str:
+        table_rows = []
+        for name, row in self.rows.items():
+            selective = "-" if row.selective_recall is None else f"{row.selective_recall:.2f}"
+            marker = " (held out)" if name == self.held_out else ""
+            table_rows.append(
+                (
+                    name + marker,
+                    f"{row.original_recall:.2f}",
+                    selective,
+                    f"{row.covered} ({100 * row.coverage_fraction:.1f}%)",
+                )
+            )
+        return format_table(
+            ["Class", "Original Recall", "Selective Recall", "Coverage"],
+            table_rows,
+            title=f"Leave-{self.held_out}-out, c0={self.target_coverage}",
+        )
+
+    @property
+    def held_out_coverage(self) -> float:
+        """Fraction of unseen-class samples the model labeled (want ~0)."""
+        return self.rows[self.held_out].coverage_fraction
+
+
+def run_table4(
+    config: Optional[ExperimentConfig] = None,
+    data: Optional[ExperimentData] = None,
+    held_out: str = "Near-Full",
+    target_coverage: float = 0.5,
+    use_augmentation: bool = True,
+    verbose: bool = False,
+) -> Table4Result:
+    """Run the Table IV experiment.
+
+    The held-out class is removed from train/validation; the test set
+    keeps every class.  Per paper protocol the unseen class's samples
+    are all placed in testing.
+    """
+    config = config if config is not None else get_preset("default")
+    if data is None:
+        data = config.make_data()
+    if held_out not in data.train.class_names:
+        raise ValueError(f"{held_out!r} is not a dataset class")
+
+    kept = tuple(name for name in data.train.class_names if name != held_out)
+    train = data.train.filter_classes(kept, relabel=True)
+    validation = data.validation.filter_classes(kept, relabel=True)
+    # Test keeps all classes; move the held-out train samples into test
+    # per the paper ("all its samples were used during testing").
+    held_out_extra = data.train.subset(
+        np.flatnonzero(data.train.labels == data.train.class_names.index(held_out))
+    )
+    test = data.test.merge(held_out_extra)
+
+    if use_augmentation:
+        train = augment_dataset(train, config.augmentation())
+
+    if verbose:
+        print(f"training SelectiveNet without {held_out} ...")
+    classifier = SelectiveWaferClassifier(
+        target_coverage=target_coverage,
+        backbone=config.backbone(),
+        train=config.train_config(target_coverage),
+    )
+    classifier.fit(train, validation=validation, calibrate=True)
+    prediction = classifier.predict_dataset(test)
+
+    # Map the reduced 8-class label space back to full class names.
+    kept_names = list(kept)
+    rows: Dict[str, Table4Row] = {}
+    for name in data.test.class_names:
+        true_index = data.test.class_names.index(name)
+        members = test.labels == true_index
+        support = int(members.sum())
+        if support == 0:
+            rows[name] = Table4Row(0.0, None, 0, 0)
+            continue
+        if name == held_out:
+            # Unseen class: no correct label exists among the 8 outputs.
+            original_recall = 0.0
+            correct_label = None
+        else:
+            correct_label = kept_names.index(name)
+            original_recall = float(
+                (prediction.raw_labels[members] == correct_label).mean()
+            )
+        accepted = members & prediction.accepted
+        covered = int(accepted.sum())
+        if covered == 0:
+            selective_recall = None
+        elif correct_label is None:
+            selective_recall = 0.0
+        else:
+            selective_recall = float(
+                (prediction.labels[accepted] == correct_label).mean()
+            )
+        rows[name] = Table4Row(original_recall, selective_recall, covered, support)
+
+    return Table4Result(rows=rows, held_out=held_out, target_coverage=target_coverage)

@@ -1,0 +1,32 @@
+"""Hand-crafted wafer-map features for the SVM baseline (Wu et al.).
+
+The paper compares against [2]: Radon-based features plus geometry
+features in an SVM framework.  This package implements that recipe from
+first principles (no skimage/sklearn offline).
+"""
+
+from .density import density_features, ring_densities, zone_densities
+from .geometry import (
+    RegionProperties,
+    geometry_features,
+    largest_failure_region,
+    region_properties,
+)
+from .pipeline import FEATURE_DIM, extract_dataset_features, extract_features
+from .radon import DEFAULT_ANGLES, radon_features, radon_transform
+
+__all__ = [
+    "radon_transform",
+    "radon_features",
+    "DEFAULT_ANGLES",
+    "density_features",
+    "zone_densities",
+    "ring_densities",
+    "geometry_features",
+    "largest_failure_region",
+    "region_properties",
+    "RegionProperties",
+    "extract_features",
+    "extract_dataset_features",
+    "FEATURE_DIM",
+]

@@ -1,0 +1,136 @@
+"""Geometry features of the most salient defect region (Wu et al.).
+
+The baseline extracts shape statistics of the largest connected
+component of failed dies: area, perimeter, axis lengths and
+eccentricity of the best-fit ellipse (via second moments), solidity
+(approximated against the bounding box), and centroid position
+relative to the wafer center.  Connected-component labeling uses
+``scipy.ndimage.label``; moments are computed from first principles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..data.wafer import FAIL
+
+__all__ = ["RegionProperties", "largest_failure_region", "geometry_features"]
+
+
+@dataclass
+class RegionProperties:
+    """Shape statistics of one connected failure region."""
+
+    area: float
+    perimeter: float
+    major_axis: float
+    minor_axis: float
+    eccentricity: float
+    extent: float
+    centroid_radius: float
+    centroid_angle: float
+
+
+def largest_failure_region(grid: np.ndarray) -> np.ndarray:
+    """Boolean mask of the largest 8-connected component of failures.
+
+    Returns an all-False mask if the wafer has no failures.
+    """
+    failure = np.asarray(grid) == FAIL
+    if not failure.any():
+        return np.zeros_like(failure, dtype=bool)
+    structure = np.ones((3, 3), dtype=int)  # 8-connectivity
+    labeled, count = ndimage.label(failure, structure=structure)
+    sizes = ndimage.sum_labels(failure, labeled, index=np.arange(1, count + 1))
+    largest = int(np.argmax(sizes)) + 1
+    return labeled == largest
+
+
+def _perimeter(mask: np.ndarray) -> float:
+    """Count of exposed pixel edges of the mask (4-neighbourhood)."""
+    padded = np.pad(mask, 1)
+    edges = 0
+    edges += int((padded[1:, :] != padded[:-1, :]).sum())
+    edges += int((padded[:, 1:] != padded[:, :-1]).sum())
+    return float(edges)
+
+
+def region_properties(mask: np.ndarray) -> RegionProperties:
+    """Compute shape statistics for a boolean region mask.
+
+    An empty mask yields all-zero properties.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    area = float(mask.sum())
+    if area == 0:
+        return RegionProperties(0, 0, 0, 0, 0, 0, 0, 0)
+
+    ys, xs = np.nonzero(mask)
+    centroid_y = ys.mean()
+    centroid_x = xs.mean()
+
+    # Central second moments -> best-fit ellipse axes.
+    mu_yy = ((ys - centroid_y) ** 2).mean() + 1.0 / 12.0
+    mu_xx = ((xs - centroid_x) ** 2).mean() + 1.0 / 12.0
+    mu_xy = ((ys - centroid_y) * (xs - centroid_x)).mean()
+    common = np.sqrt(max((mu_yy - mu_xx) ** 2 + 4 * mu_xy ** 2, 0.0))
+    lambda1 = (mu_yy + mu_xx + common) / 2.0
+    lambda2 = (mu_yy + mu_xx - common) / 2.0
+    lambda2 = max(lambda2, 1e-12)
+    major = 4.0 * np.sqrt(lambda1)
+    minor = 4.0 * np.sqrt(lambda2)
+    eccentricity = np.sqrt(max(1.0 - lambda2 / lambda1, 0.0)) if lambda1 > 0 else 0.0
+
+    bbox_area = float((ys.max() - ys.min() + 1) * (xs.max() - xs.min() + 1))
+    extent = area / bbox_area if bbox_area > 0 else 0.0
+
+    h, w = mask.shape
+    center_y = (h - 1) / 2.0
+    center_x = (w - 1) / 2.0
+    dy = centroid_y - center_y
+    dx = centroid_x - center_x
+    centroid_radius = np.sqrt(dy ** 2 + dx ** 2) / (min(h, w) / 2.0)
+    centroid_angle = float(np.arctan2(dy, dx))
+
+    return RegionProperties(
+        area=area,
+        perimeter=_perimeter(mask),
+        major_axis=float(major),
+        minor_axis=float(minor),
+        eccentricity=float(eccentricity),
+        extent=float(extent),
+        centroid_radius=float(centroid_radius),
+        centroid_angle=centroid_angle,
+    )
+
+
+def geometry_features(grid: np.ndarray) -> np.ndarray:
+    """8-dim geometry descriptor of the wafer's dominant failure region.
+
+    Area and perimeter are normalized by wafer size so the features are
+    resolution-independent; the centroid angle is encoded as
+    (sin, cos) would add dims, but the baseline keeps the raw angle —
+    we normalize it to [-1, 1].
+    """
+    grid = np.asarray(grid)
+    mask = largest_failure_region(grid)
+    props = region_properties(mask)
+    h, w = grid.shape
+    scale = float(h * w)
+    side = float(min(h, w))
+    return np.array(
+        [
+            props.area / scale,
+            props.perimeter / (4.0 * side),
+            props.major_axis / side,
+            props.minor_axis / side,
+            props.eccentricity,
+            props.extent,
+            props.centroid_radius,
+            props.centroid_angle / np.pi,
+        ],
+        dtype=np.float64,
+    )

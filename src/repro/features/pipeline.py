@@ -1,0 +1,56 @@
+"""Combined feature extraction pipeline for the SVM baseline."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import WaferDataset
+from ..data.wafer import FAIL
+from .density import density_features
+from .geometry import geometry_features
+from .radon import DEFAULT_ANGLES, radon_features
+
+__all__ = ["extract_features", "extract_dataset_features", "FEATURE_DIM"]
+
+#: Dimensionality of the default combined feature vector:
+#: 40 Radon + 13 density + 8 geometry + 1 global failure rate.
+FEATURE_DIM = 62
+
+
+def extract_features(
+    grid: np.ndarray,
+    angles: Sequence[float] = DEFAULT_ANGLES,
+    radon_length: int = 20,
+) -> np.ndarray:
+    """Full baseline descriptor for one wafer die grid.
+
+    Concatenates Radon row statistics, zonal/ring densities, geometry
+    of the dominant failure region, and the global failure rate.
+    """
+    grid = np.asarray(grid)
+    on_wafer = grid != 0
+    total = int(on_wafer.sum())
+    global_rate = float((grid[on_wafer] == FAIL).sum()) / total if total else 0.0
+    return np.concatenate(
+        [
+            radon_features(grid, angles=angles, resample_length=radon_length),
+            density_features(grid),
+            geometry_features(grid),
+            [global_rate],
+        ]
+    )
+
+
+def extract_dataset_features(
+    dataset: WaferDataset,
+    angles: Sequence[float] = DEFAULT_ANGLES,
+    radon_length: int = 20,
+) -> np.ndarray:
+    """Feature matrix ``(N, FEATURE_DIM)`` for a whole dataset."""
+    if len(dataset) == 0:
+        return np.empty((0, 2 * radon_length + 13 + 8 + 1))
+    return np.stack(
+        [extract_features(grid, angles=angles, radon_length=radon_length) for grid in dataset.grids]
+    )

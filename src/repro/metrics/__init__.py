@@ -1,0 +1,35 @@
+"""Evaluation metrics for plain and selective classification."""
+
+from .classification import (
+    ClassMetrics,
+    accuracy,
+    confusion_matrix,
+    defect_detection_rate,
+    macro_f1,
+    per_class_metrics,
+)
+from .reporting import format_confusion_matrix, format_percent, format_table
+from .selective import (
+    SelectiveClassReport,
+    SelectiveEvaluation,
+    evaluate_selective,
+    per_class_coverage,
+    selective_accuracy,
+)
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_metrics",
+    "macro_f1",
+    "defect_detection_rate",
+    "ClassMetrics",
+    "SelectiveClassReport",
+    "SelectiveEvaluation",
+    "evaluate_selective",
+    "selective_accuracy",
+    "per_class_coverage",
+    "format_table",
+    "format_confusion_matrix",
+    "format_percent",
+]

@@ -1,0 +1,128 @@
+"""Standard multi-class classification metrics.
+
+Implemented from scratch (no sklearn offline): confusion matrices,
+per-class precision/recall/F1, and accuracy — the metrics Tables II and
+III of the paper report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy",
+    "ClassMetrics",
+    "per_class_metrics",
+    "macro_f1",
+    "defect_detection_rate",
+]
+
+
+def confusion_matrix(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    num_classes: int,
+) -> np.ndarray:
+    """Rows = true class, columns = predicted class (paper's layout).
+
+    Predictions outside ``[0, num_classes)`` (e.g. the ABSTAIN marker)
+    are rejected — filter abstained samples out first.
+    """
+    true_labels = np.asarray(true_labels)
+    predicted_labels = np.asarray(predicted_labels)
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError("label arrays must have the same shape")
+    if true_labels.size and (
+        predicted_labels.min() < 0 or predicted_labels.max() >= num_classes
+    ):
+        raise ValueError("predicted labels out of range; drop abstentions first")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (true_labels, predicted_labels), 1)
+    return matrix
+
+
+def accuracy(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Plain accuracy; 0.0 on empty input."""
+    true_labels = np.asarray(true_labels)
+    predicted_labels = np.asarray(predicted_labels)
+    if true_labels.size == 0:
+        return 0.0
+    return float((true_labels == predicted_labels).mean())
+
+
+@dataclass
+class ClassMetrics:
+    """Precision / recall / F1 / support for one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def per_class_metrics(
+    matrix: np.ndarray,
+    class_names: Optional[Sequence[str]] = None,
+) -> Dict[str, ClassMetrics]:
+    """Per-class metrics from a confusion matrix.
+
+    Undefined ratios (no predictions, or no true samples) are reported
+    as 0.0, matching the convention the paper's Table II uses for
+    classes the model never selects.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("confusion matrix must be square")
+    num_classes = matrix.shape[0]
+    names = list(class_names) if class_names is not None else [str(i) for i in range(num_classes)]
+    if len(names) != num_classes:
+        raise ValueError("class_names length must match matrix size")
+
+    results: Dict[str, ClassMetrics] = {}
+    for index, name in enumerate(names):
+        true_positive = float(matrix[index, index])
+        predicted = float(matrix[:, index].sum())
+        actual = float(matrix[index, :].sum())
+        precision = true_positive / predicted if predicted > 0 else 0.0
+        recall = true_positive / actual if actual > 0 else 0.0
+        denominator = precision + recall
+        f1 = 2 * precision * recall / denominator if denominator > 0 else 0.0
+        results[name] = ClassMetrics(
+            precision=precision, recall=recall, f1=f1, support=int(actual)
+        )
+    return results
+
+
+def macro_f1(matrix: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    metrics = per_class_metrics(matrix)
+    if not metrics:
+        return 0.0
+    return float(np.mean([m.f1 for m in metrics.values()]))
+
+
+def defect_detection_rate(
+    matrix: np.ndarray,
+    class_names: Sequence[str],
+    none_class: str = "None",
+) -> float:
+    """Accuracy restricted to actual defect classes (excluding None).
+
+    The paper reports 86% for the CNN vs 72% for the SVM on this
+    metric (Sec. IV-C): of all test wafers whose true class is a
+    defect, the fraction classified into their correct defect class.
+    """
+    matrix = np.asarray(matrix)
+    names = list(class_names)
+    if none_class not in names:
+        raise ValueError(f"{none_class!r} not in class names")
+    keep = [i for i, name in enumerate(names) if name != none_class]
+    correct = sum(int(matrix[i, i]) for i in keep)
+    total = int(matrix[keep, :].sum())
+    if total == 0:
+        return 0.0
+    return correct / total

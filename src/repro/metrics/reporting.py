@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers format them consistently in a terminal-only environment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_confusion_matrix", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string (``0.941`` -> ``94.1%``)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are fixed to ``float_digits``; everything else is ``str()``.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float) and not isinstance(cell, bool):
+                rendered.append(f"{cell:.{float_digits}f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_confusion_matrix(
+    matrix: np.ndarray,
+    class_names: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render a confusion matrix with true classes as rows."""
+    matrix = np.asarray(matrix)
+    names = list(class_names)
+    if matrix.shape != (len(names), len(names)):
+        raise ValueError("matrix shape must match class_names")
+    headers = ["true\\pred"] + names
+    rows = [[name] + [int(v) for v in matrix[i]] for i, name in enumerate(names)]
+    return format_table(headers, rows, title=title)

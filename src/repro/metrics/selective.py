@@ -1,0 +1,131 @@
+"""Metrics specific to selective (reject-option) classification.
+
+These compute the quantities in Tables II and IV: per-class coverage
+(number of samples the model chooses to label), selective per-class
+precision/recall/F1 computed over accepted samples only, selective
+accuracy, and the original-vs-selective recall comparison used in the
+leave-one-class-out study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.selective import ABSTAIN, SelectivePrediction
+from .classification import ClassMetrics, accuracy, confusion_matrix, per_class_metrics
+
+__all__ = [
+    "SelectiveClassReport",
+    "SelectiveEvaluation",
+    "evaluate_selective",
+    "selective_accuracy",
+    "per_class_coverage",
+]
+
+
+def selective_accuracy(prediction: SelectivePrediction, true_labels: np.ndarray) -> float:
+    """Accuracy over the accepted samples only (Eq. 7 with 0/1 loss)."""
+    true_labels = np.asarray(true_labels)
+    mask = prediction.accepted
+    if not mask.any():
+        return 0.0
+    return accuracy(true_labels[mask], prediction.labels[mask])
+
+
+def per_class_coverage(
+    prediction: SelectivePrediction,
+    true_labels: np.ndarray,
+    num_classes: int,
+) -> np.ndarray:
+    """Count of accepted samples per *true* class (Table II "Cov")."""
+    true_labels = np.asarray(true_labels)
+    counts = np.zeros(num_classes, dtype=np.int64)
+    accepted_labels = true_labels[prediction.accepted]
+    np.add.at(counts, accepted_labels, 1)
+    return counts
+
+
+@dataclass
+class SelectiveClassReport:
+    """Table II row: selective Prec/Rec/F1 plus coverage for one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    covered: int
+    support: int
+
+    @property
+    def coverage_fraction(self) -> float:
+        if self.support == 0:
+            return 0.0
+        return self.covered / self.support
+
+
+@dataclass
+class SelectiveEvaluation:
+    """Full evaluation of a selective prediction against ground truth."""
+
+    class_reports: Dict[str, SelectiveClassReport]
+    overall_accuracy: float
+    overall_coverage: float
+    covered_count: int
+    total_count: int
+    full_coverage_accuracy: float
+    confusion: np.ndarray
+
+    def summary_rows(self) -> Sequence[tuple]:
+        """(name, precision, recall, f1, covered) rows in class order."""
+        return [
+            (name, report.precision, report.recall, report.f1, report.covered)
+            for name, report in self.class_reports.items()
+        ]
+
+
+def evaluate_selective(
+    prediction: SelectivePrediction,
+    true_labels: np.ndarray,
+    class_names: Sequence[str],
+) -> SelectiveEvaluation:
+    """Compute the Table II metric set for one selective prediction.
+
+    Per-class precision/recall/F1 are computed on the accepted subset
+    (samples the model labeled); coverage counts accepted samples per
+    true class; ``full_coverage_accuracy`` ignores the reject option
+    (Table IV's "Original" column uses the recall analogue).
+    """
+    true_labels = np.asarray(true_labels)
+    names = list(class_names)
+    num_classes = len(names)
+    mask = prediction.accepted
+
+    if mask.any():
+        matrix = confusion_matrix(true_labels[mask], prediction.labels[mask], num_classes)
+    else:
+        matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    base_metrics = per_class_metrics(matrix, names)
+    coverage_counts = per_class_coverage(prediction, true_labels, num_classes)
+    supports = np.bincount(true_labels, minlength=num_classes)
+
+    reports = {
+        name: SelectiveClassReport(
+            precision=base_metrics[name].precision,
+            recall=base_metrics[name].recall,
+            f1=base_metrics[name].f1,
+            covered=int(coverage_counts[index]),
+            support=int(supports[index]),
+        )
+        for index, name in enumerate(names)
+    }
+    return SelectiveEvaluation(
+        class_reports=reports,
+        overall_accuracy=selective_accuracy(prediction, true_labels),
+        overall_coverage=prediction.coverage,
+        covered_count=int(mask.sum()),
+        total_count=int(true_labels.size),
+        full_coverage_accuracy=accuracy(true_labels, prediction.raw_labels),
+        confusion=matrix,
+    )

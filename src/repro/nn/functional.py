@@ -1,0 +1,335 @@
+"""Spatial operations for the autograd engine.
+
+Implements 2-D convolution, transposed convolution, max pooling, and
+nearest-neighbour upsampling as tape-aware operations on
+:class:`~repro.nn.tensor.Tensor`.  Convolution uses the classic
+im2col/col2im reduction to matrix multiplication, which is the fastest
+strategy available in pure numpy.
+
+All spatial tensors use the NCHW layout: ``(batch, channels, height,
+width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv_transpose2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "upsample2d",
+    "conv_output_size",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Unfold sliding windows of ``x`` into a 2-D matrix.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel, stride, padding:
+        Convolution geometry, each an ``(h, w)`` pair.
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(N * out_h * out_w, C * kh * kw)`` whose rows
+        are flattened receptive fields.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * sh,
+            strides[3] * sw,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> rows of receptive fields.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    reshaped = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    # reshaped: (N, C, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += reshaped[:, :, i, j]
+    if ph or pw:
+        return padded[:, :, ph:h + ph, pw:w + pw]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    Parameters
+    ----------
+    x:
+        Input tensor, shape ``(N, C_in, H, W)``.
+    weight:
+        Filters, shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional per-output-channel bias, shape ``(C_out,)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    out_h = conv_output_size(h, kh, stride[0], padding[0])
+    out_w = conv_output_size(w, kw, stride[1], padding[1])
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N*oh*ow, C*kh*kw)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
+    out = cols @ w_mat.T  # (N*oh*ow, C_out)
+    if bias is not None:
+        out = out + bias.data
+    out_data = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (N, C_out, oh, ow) -> (N*oh*ow, C_out)
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=0))
+        if weight.requires_grad:
+            grad_w = grad_mat.T @ cols  # (C_out, C*kh*kw)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_cols = grad_mat @ w_mat  # (N*oh*ow, C*kh*kw)
+            x._accumulate(col2im(grad_cols, x.shape, (kh, kw), stride, padding))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D transposed convolution ("deconvolution").
+
+    The forward pass is the adjoint of :func:`conv2d` with the same
+    geometry, so it is implemented directly with :func:`col2im`.
+
+    Parameters
+    ----------
+    x:
+        Input tensor, shape ``(N, C_in, H, W)``.
+    weight:
+        Filters, shape ``(C_in, C_out, kh, kw)`` (note the transposed
+        channel convention, matching PyTorch).
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_in_w, c_out, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    out_h = (h - 1) * stride[0] - 2 * padding[0] + kh
+    out_w = (w - 1) * stride[1] - 2 * padding[1] + kw
+
+    w_mat = weight.data.reshape(c_in, c_out * kh * kw)  # (C_in, C_out*kh*kw)
+    x_mat = x.data.transpose(0, 2, 3, 1).reshape(-1, c_in)  # (N*h*w, C_in)
+    cols = x_mat @ w_mat  # (N*h*w, C_out*kh*kw)
+    out_data = col2im(cols, (n, c_out, out_h, out_w), (kh, kw), stride, padding)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        grad_cols = im2col(grad, (kh, kw), stride, padding)  # (N*h*w, C_out*kh*kw)
+        if weight.requires_grad:
+            grad_w = x_mat.T @ grad_cols  # (C_in, C_out*kh*kw)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_x = grad_cols @ w_mat.T  # (N*h*w, C_in)
+            x._accumulate(grad_x.reshape(n, h, w, c_in).transpose(0, 3, 1, 2))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor:
+    """Max pooling over non-overlapping (by default) windows.
+
+    Window geometry follows the paper: every conv layer is followed by a
+    2x2 max-pool.  Inputs whose spatial size is not divisible by the
+    stride are truncated (floor semantics), matching common frameworks.
+    """
+    kernel = _pair(kernel)
+    if stride is None:
+        stride = kernel
+    stride = _pair(stride)
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * sh,
+            strides[3] * sw,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kh * kw)
+    argmax = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        # Decode flat window argmax back to input coordinates.
+        ki, kj = np.unravel_index(argmax, (kh, kw))
+        n_idx, c_idx, i_idx, j_idx = np.indices(argmax.shape)
+        rows = i_idx * sh + ki
+        cols = j_idx * sw + kj
+        np.add.at(grad_x, (n_idx, c_idx, rows, cols), grad)
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor:
+    """Average pooling; used by ablation variants of the architecture."""
+    kernel = _pair(kernel)
+    if stride is None:
+        stride = kernel
+    stride = _pair(stride)
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * sh,
+            strides[3] * sw,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    out_data = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kh * kw)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        for i in range(kh):
+            for j in range(kw):
+                grad_x[:, :, i:i + out_h * sh:sh, j:j + out_w * sw:sw] += grad * scale
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def upsample2d(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour upsampling by an integer factor.
+
+    This is the "upsampling" stage of the decoder in the paper's
+    convolutional auto-encoder (Fig. 3), mirroring the encoder's 2x2
+    max-pool.
+    """
+    if scale < 1:
+        raise ValueError("scale must be a positive integer")
+    out_data = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+    n, c, h, w = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        reshaped = grad.reshape(n, c, h, scale, w, scale)
+        x._accumulate(reshaped.sum(axis=(3, 5)))
+
+    return Tensor._make(out_data, (x,), backward)

@@ -1,0 +1,31 @@
+"""Neural-network layers for the numpy deep-learning substrate."""
+
+from .activations import LeakyReLU, LogSoftmax, ReLU, Sigmoid, Softmax, Tanh
+from .base import Module, Parameter
+from .container import Sequential
+from .conv import Conv2D, ConvTranspose2D
+from .dense import Dense, Flatten
+from .pooling import AvgPool2D, MaxPool2D, UpSample2D
+from .regularization import BatchNorm1D, BatchNorm2D, Dropout
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2D",
+    "ConvTranspose2D",
+    "Dense",
+    "Flatten",
+    "MaxPool2D",
+    "AvgPool2D",
+    "UpSample2D",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "LogSoftmax",
+    "Dropout",
+    "BatchNorm1D",
+    "BatchNorm2D",
+]

@@ -1,0 +1,168 @@
+"""Module and Parameter abstractions.
+
+A :class:`Module` is a named container of :class:`Parameter` tensors and
+child modules, with train/eval mode propagation and a recursive
+``state_dict`` for serialization — the minimal subset of the familiar
+PyTorch ``nn.Module`` contract that the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable model parameter."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network layers and models.
+
+    Subclasses implement :meth:`forward`; parameters assigned as
+    attributes (or inside child modules) are discovered automatically.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Forward dispatch
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters, depth-first, in stable order."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the module tree."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects Dropout / BatchNorm)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Gradients
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of dotted parameter names to arrays.
+
+        Buffers (e.g. batch-norm running statistics) are included via
+        the ``_buffers`` convention used by :class:`BatchNorm2D`.
+        """
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = buffer.copy()
+        return state
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield non-trainable persistent arrays (running stats etc.)."""
+        buffers = getattr(self, "_buffers", None)
+        if buffers:
+            for name, value in buffers.items():
+                yield (f"{prefix}{name}", value)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters and buffers from :meth:`state_dict` output."""
+        params = dict(self.named_parameters())
+        buffers = {}
+        for module_prefix, module in self._walk_with_prefix():
+            module_buffers = getattr(module, "_buffers", None)
+            if module_buffers:
+                for name in module_buffers:
+                    buffers[f"{module_prefix}{name}"] = (module, name)
+        for key, value in state.items():
+            if key in params:
+                if params[key].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: "
+                        f"model has {params[key].shape}, state has {value.shape}"
+                    )
+                params[key].data = value.astype(params[key].dtype).copy()
+            elif key in buffers:
+                module, name = buffers[key]
+                module._buffers[name] = value.copy()
+            else:
+                raise KeyError(f"unexpected key in state dict: {key!r}")
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+
+    def _walk_with_prefix(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix, self)
+        for child_name, child in self._modules.items():
+            yield from child._walk_with_prefix(prefix=f"{prefix}{child_name}.")
+
+    def __repr__(self) -> str:
+        child_lines = []
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            child_lines.append(f"  ({name}): {child_repr}")
+        body = "\n".join(child_lines)
+        if body:
+            return f"{type(self).__name__}(\n{body}\n)"
+        return f"{type(self).__name__}()"

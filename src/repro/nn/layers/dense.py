@@ -1,0 +1,74 @@
+"""Fully-connected (dense) layer and Flatten."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import init as init_module
+from ..tensor import Tensor
+from .base import Module, Parameter
+
+__all__ = ["Dense", "Flatten"]
+
+
+class Dense(Module):
+    """Affine map ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to add a learned bias (default True).
+    weight_init:
+        Name of an initializer from :mod:`repro.nn.init`.
+    rng:
+        Numpy random generator used for weight initialization; pass an
+        explicitly seeded generator for reproducible models.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        initializer = init_module.get_initializer(weight_init)
+        self.weight = Parameter(initializer((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(init_module.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Dense expected last dim {self.in_features}, got input shape {x.shape}"
+            )
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Dense(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Flatten(Module):
+    """Collapse all axes but the batch axis into one."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+    def __repr__(self) -> str:
+        return "Flatten()"

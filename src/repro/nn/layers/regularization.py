@@ -1,0 +1,100 @@
+"""Regularization layers: Dropout and BatchNorm."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+from .base import Module, Parameter
+
+__all__ = ["Dropout", "BatchNorm2D", "BatchNorm1D"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode.
+
+    Parameters
+    ----------
+    rate:
+        Probability of zeroing each activation (0 <= rate < 1).
+    rng:
+        Generator driving the masks; seed it for reproducible training.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"
+
+
+class _BatchNormBase(Module):
+    """Shared machinery for 1-D and 2-D batch normalization."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32), name="gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32), name="beta")
+        self._buffers = {
+            "running_mean": np.zeros(num_features, dtype=np.float32),
+            "running_var": np.ones(num_features, dtype=np.float32),
+        }
+
+    def _normalize(self, x: Tensor, axes, shape) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            m = self._buffers["running_mean"]
+            v = self._buffers["running_var"]
+            self._buffers["running_mean"] = (1 - self.momentum) * m + self.momentum * mean
+            self._buffers["running_var"] = (1 - self.momentum) * v + self.momentum * var
+            # Differentiable normalization using batch statistics.
+            mean_t = x.mean(axis=axes, keepdims=True)
+            centered = x - mean_t
+            var_t = (centered * centered).mean(axis=axes, keepdims=True)
+            normed = centered * ((var_t + self.eps) ** -0.5)
+        else:
+            mean = self._buffers["running_mean"].reshape(shape)
+            var = self._buffers["running_var"].reshape(shape)
+            normed = (x - Tensor(mean)) * Tensor((var + self.eps) ** -0.5)
+        return normed * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+class BatchNorm2D(_BatchNormBase):
+    """Batch normalization over NCHW activations (per channel)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2D expects NCHW input, got shape {x.shape}")
+        return self._normalize(x, axes=(0, 2, 3), shape=(1, self.num_features, 1, 1))
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2D(num_features={self.num_features})"
+
+
+class BatchNorm1D(_BatchNormBase):
+    """Batch normalization over (N, F) activations (per feature)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1D expects (N, F) input, got shape {x.shape}")
+        return self._normalize(x, axes=(0,), shape=(1, self.num_features))
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1D(num_features={self.num_features})"

@@ -1,0 +1,239 @@
+"""Gradient-descent optimizers and learning-rate schedules.
+
+The paper trains with Adam for 100 epochs; SGD (with optional momentum
+and Nesterov acceleration) and RMSProp are provided for ablations and
+for the linear baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .layers.base import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "LRSchedule",
+    "ConstantLR",
+    "StepLR",
+    "CosineLR",
+    "ExponentialLR",
+]
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters.
+
+    Subclasses implement :meth:`_update` for a single parameter given
+    its gradient.  Weight decay, if set, is applied as decoupled L2
+    (added to the gradient before the update rule).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        self._step_count += 1
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._update(index, param, grad)
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable optimizer state (step count and slot buffers)."""
+        return {"step_count": self._step_count, "lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._step_count = int(state["step_count"])
+        self.lr = float(state["lr"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = nesterov
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        if self.momentum:
+            velocity = self._velocity.get(index)
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[index] = velocity
+            if self.nesterov:
+                grad = grad + self.momentum * velocity
+            else:
+                grad = velocity
+        param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) — the optimizer used in the paper."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        m = self._m.get(index)
+        v = self._v.get(index)
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[index] = m
+        self._v[index] = v
+        t = self._step_count
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponential moving average of squared gradients."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        rho: float = 0.9,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("rho must be in [0, 1)")
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        cache = self._cache.get(index)
+        if cache is None:
+            cache = np.zeros_like(param.data)
+        cache = self.rho * cache + (1 - self.rho) * grad * grad
+        self._cache[index] = cache
+        param.data -= self.lr * grad / (np.sqrt(cache) + self.eps)
+
+
+class LRSchedule:
+    """Base learning-rate schedule bound to an optimizer.
+
+    Call :meth:`step` once per epoch; the schedule overwrites
+    ``optimizer.lr``.
+    """
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+        return self.optimizer.lr
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Keeps the learning rate fixed (the paper's setting)."""
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = float(gamma)
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** epoch
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from the base LR to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = int(t_max)
+        self.min_lr = float(min_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))

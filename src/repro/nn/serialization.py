@@ -1,0 +1,39 @@
+"""Model checkpointing to ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .layers.base import Module
+
+__all__ = ["save_model", "load_model"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_model(model: Module, path: PathLike) -> None:
+    """Write a module's parameters and buffers to a compressed npz.
+
+    Parameter names containing dots are npz-safe, so the state dict maps
+    directly onto npz keys.
+    """
+    state = model.state_dict()
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(os.fspath(path), **state)
+
+
+def load_model(model: Module, path: PathLike) -> Module:
+    """Load parameters saved with :func:`save_model` into ``model``.
+
+    The model must already be constructed with matching architecture;
+    shape mismatches raise ``ValueError``.
+    """
+    with np.load(os.fspath(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

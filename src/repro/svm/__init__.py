@@ -1,0 +1,21 @@
+"""From-scratch SVM classifiers (SMO) for the paper's baseline."""
+
+from .baseline import SVMBaseline
+from .selective_svm import SelectiveSVM
+from .kernels import get_kernel, linear_kernel, polynomial_kernel, rbf_kernel
+from .multiclass import OneVsOneSVM, OneVsRestSVM
+from .scaler import StandardScaler
+from .smo import BinarySVM
+
+__all__ = [
+    "BinarySVM",
+    "SelectiveSVM",
+    "OneVsOneSVM",
+    "OneVsRestSVM",
+    "StandardScaler",
+    "SVMBaseline",
+    "linear_kernel",
+    "rbf_kernel",
+    "polynomial_kernel",
+    "get_kernel",
+]

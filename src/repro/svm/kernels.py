@@ -1,0 +1,44 @@
+"""Kernel functions for the SVM baseline."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["linear_kernel", "rbf_kernel", "polynomial_kernel", "get_kernel", "Kernel"]
+
+Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Gram matrix ``K[i, j] = <a_i, b_j>``."""
+    return a @ b.T
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """Gaussian RBF ``K[i, j] = exp(-gamma * ||a_i - b_j||^2)``."""
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    a_sq = (a ** 2).sum(axis=1)[:, None]
+    b_sq = (b ** 2).sum(axis=1)[None, :]
+    squared = np.maximum(a_sq + b_sq - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * squared)
+
+
+def polynomial_kernel(
+    a: np.ndarray, b: np.ndarray, degree: int = 3, coef0: float = 1.0, gamma: float = 1.0
+) -> np.ndarray:
+    """Polynomial kernel ``(gamma <a, b> + coef0)^degree``."""
+    return (gamma * (a @ b.T) + coef0) ** degree
+
+
+def get_kernel(name: str, gamma: float = 1.0, degree: int = 3, coef0: float = 1.0) -> Kernel:
+    """Build a kernel closure by name: 'linear', 'rbf', or 'poly'."""
+    if name == "linear":
+        return linear_kernel
+    if name == "rbf":
+        return lambda a, b: rbf_kernel(a, b, gamma=gamma)
+    if name == "poly":
+        return lambda a, b: polynomial_kernel(a, b, degree=degree, coef0=coef0, gamma=gamma)
+    raise ValueError(f"unknown kernel {name!r}; expected 'linear', 'rbf' or 'poly'")

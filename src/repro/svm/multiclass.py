@@ -1,0 +1,98 @@
+"""Multi-class SVM strategies: one-vs-one and one-vs-rest.
+
+The WM-811K baseline [2] uses a one-vs-one kernel SVM (the libsvm
+default).  Both reductions are provided; one-vs-one votes across all
+class pairs, one-vs-rest takes the argmax decision value.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .smo import BinarySVM
+
+__all__ = ["OneVsOneSVM", "OneVsRestSVM"]
+
+
+class OneVsOneSVM:
+    """One-vs-one multi-class SVM with majority voting.
+
+    Ties are broken by the summed decision-function margins of the
+    involved pairs, which avoids biasing toward low class indices.
+    """
+
+    def __init__(self, **svm_kwargs) -> None:
+        self.svm_kwargs = svm_kwargs
+        self.models_: Dict[Tuple[int, int], BinarySVM] = {}
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "OneVsOneSVM":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self.models_ = {}
+        for a, b in combinations(range(len(self.classes_)), 2):
+            mask = (labels == self.classes_[a]) | (labels == self.classes_[b])
+            pair_features = features[mask]
+            pair_labels = np.where(labels[mask] == self.classes_[a], 1.0, -1.0)
+            model = BinarySVM(**self.svm_kwargs)
+            model.fit(pair_features, pair_labels)
+            self.models_[(a, b)] = model
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("model is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        n = len(features)
+        votes = np.zeros((n, len(self.classes_)))
+        margins = np.zeros((n, len(self.classes_)))
+        for (a, b), model in self.models_.items():
+            decision = model.decision_function(features)
+            winner_a = decision >= 0
+            votes[winner_a, a] += 1
+            votes[~winner_a, b] += 1
+            margins[:, a] += decision
+            margins[:, b] -= decision
+        # Majority vote with margin tie-breaks: add an epsilon-scaled
+        # margin so it only matters between equal vote counts.
+        margin_range = np.abs(margins).max() + 1.0
+        scores = votes + margins / (margin_range * 10.0)
+        return self.classes_[scores.argmax(axis=1)]
+
+
+class OneVsRestSVM:
+    """One-vs-rest multi-class SVM taking the argmax decision value."""
+
+    def __init__(self, **svm_kwargs) -> None:
+        self.svm_kwargs = svm_kwargs
+        self.models_: List[BinarySVM] = []
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "OneVsRestSVM":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self.models_ = []
+        for value in self.classes_:
+            binary_labels = np.where(labels == value, 1.0, -1.0)
+            model = BinarySVM(**self.svm_kwargs)
+            model.fit(features, binary_labels)
+            self.models_.append(model)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("model is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return np.stack([m.decision_function(features) for m in self.models_], axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[self.decision_function(features).argmax(axis=1)]

@@ -1,0 +1,42 @@
+"""Feature standardization for the SVM pipeline."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling.
+
+    Constant features (zero variance) are left centered but unscaled,
+    avoiding division blow-ups on degenerate synthetic feature columns.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (N, D)")
+        if len(features) == 0:
+            raise ValueError("cannot fit a scaler on zero samples")
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,105 @@
+"""Margin-based selective classification for the SVM baseline.
+
+The paper's reject option is exclusive to the CNN; a natural question
+is how much of the benefit plain baselines can recover by abstaining on
+small decision margins.  This module equips the one-vs-one SVM with a
+selection score — the victory margin between the top-voted and
+runner-up classes (vote difference, with summed decision margins as a
+continuous tie-breaker) — and the same threshold-calibration machinery
+the CNN uses, enabling apples-to-apples risk-coverage comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.calibration import CalibrationResult, threshold_for_coverage
+from ..core.selective import ABSTAIN, SelectivePrediction
+from ..data.dataset import WaferDataset
+from .baseline import SVMBaseline
+
+__all__ = ["SelectiveSVM"]
+
+
+@dataclass
+class SelectiveSVM:
+    """Wrap a fitted :class:`SVMBaseline` with margin-based rejection.
+
+    Parameters
+    ----------
+    baseline:
+        A fitted SVM baseline.
+    threshold:
+        Margin threshold; samples with a smaller victory margin
+        abstain.  Calibrate with :meth:`calibrate_coverage`.
+    """
+
+    baseline: SVMBaseline
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.baseline.model is None:
+            raise ValueError("baseline must be fitted before wrapping")
+        self.calibration: Optional[CalibrationResult] = None
+
+    # ------------------------------------------------------------------
+    def margins(self, dataset: WaferDataset) -> np.ndarray:
+        """Victory margin per sample: top vote score minus runner-up."""
+        from ..features.pipeline import extract_dataset_features
+
+        features = self.baseline.scaler.transform(extract_dataset_features(dataset))
+        model = self.baseline.model
+        n = len(features)
+        if n == 0:
+            return np.empty((0,), dtype=np.float64)
+        votes = np.zeros((n, len(model.classes_)))
+        decision_sums = np.zeros((n, len(model.classes_)))
+        for (a, b), binary in model.models_.items():
+            decision = binary.decision_function(features)
+            winner_a = decision >= 0
+            votes[winner_a, a] += 1
+            votes[~winner_a, b] += 1
+            decision_sums[:, a] += decision
+            decision_sums[:, b] -= decision
+        margin_range = np.abs(decision_sums).max() + 1.0
+        scores = votes + decision_sums / (margin_range * 10.0)
+        ordered = np.sort(scores, axis=1)
+        return ordered[:, -1] - ordered[:, -2]
+
+    def calibrate_coverage(
+        self, dataset: WaferDataset, target_coverage: float
+    ) -> CalibrationResult:
+        """Choose the margin threshold hitting ``target_coverage``."""
+        margins = self.margins(dataset)
+        predictions = self.baseline.predict(dataset)
+        correct = predictions == dataset.labels
+        self.calibration = threshold_for_coverage(margins, target_coverage, correct)
+        self.threshold = self.calibration.threshold
+        return self.calibration
+
+    def predict_selective(
+        self, dataset: WaferDataset, threshold: Optional[float] = None
+    ) -> SelectivePrediction:
+        """Selective inference with margin-based abstention."""
+        tau = self.threshold if threshold is None else float(threshold)
+        margins = self.margins(dataset)
+        raw_labels = (
+            self.baseline.predict(dataset)
+            if len(dataset)
+            else np.empty((0,), dtype=np.int64)
+        )
+        accepted = margins >= tau
+        num_classes = dataset.num_classes
+        probabilities = np.zeros((len(dataset), num_classes), dtype=np.float32)
+        if len(dataset):
+            probabilities[np.arange(len(dataset)), raw_labels] = 1.0
+        return SelectivePrediction(
+            labels=np.where(accepted, raw_labels, ABSTAIN).astype(np.int64),
+            raw_labels=np.asarray(raw_labels, dtype=np.int64),
+            selection_scores=margins.astype(np.float32),
+            accepted=accepted,
+            probabilities=probabilities,
+        )

@@ -1,0 +1,183 @@
+"""Binary soft-margin kernel SVM trained by Sequential Minimal
+Optimization (Platt, 1998; simplified working-set variant).
+
+This is the classifier engine behind the paper's baseline [2].  The
+implementation follows the classic simplified SMO: iterate over
+Lagrange multipliers violating the KKT conditions, pair each with a
+second multiplier chosen to maximize the step, and solve the 2-variable
+subproblem analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .kernels import Kernel, get_kernel
+
+__all__ = ["BinarySVM"]
+
+
+class BinarySVM:
+    """Soft-margin binary SVM with labels in {-1, +1}.
+
+    Parameters
+    ----------
+    c:
+        Box constraint (regularization); larger fits harder margins.
+    kernel:
+        Kernel name ('linear', 'rbf', 'poly') or a callable Gram
+        function.
+    gamma:
+        RBF/poly bandwidth; 'scale' mimics the common
+        ``1 / (D * var(X))`` heuristic.
+    tol:
+        KKT violation tolerance.
+    max_passes:
+        Number of consecutive full passes without updates before
+        declaring convergence.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: str = "rbf",
+        gamma: float | str = "scale",
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iterations: int = 200,
+        seed: int = 0,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self.c = float(c)
+        self.kernel_name = kernel if isinstance(kernel, str) else "custom"
+        self._kernel_arg = kernel
+        self.gamma = gamma
+        self.tol = float(tol)
+        self.max_passes = int(max_passes)
+        self.max_iterations = int(max_iterations)
+        self.seed = seed
+
+        self.support_vectors_: Optional[np.ndarray] = None
+        self.dual_coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self._kernel: Optional[Kernel] = None
+
+    # ------------------------------------------------------------------
+    def _resolve_kernel(self, features: np.ndarray) -> Kernel:
+        if callable(self._kernel_arg):
+            return self._kernel_arg
+        gamma = self.gamma
+        if gamma == "scale":
+            variance = features.var()
+            gamma = 1.0 / (features.shape[1] * variance) if variance > 0 else 1.0
+        return get_kernel(self.kernel_name, gamma=float(gamma))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "BinarySVM":
+        """Train on ``(N, D)`` features with labels in {-1, +1}."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if set(np.unique(labels)) - {-1.0, 1.0}:
+            raise ValueError("labels must be -1 or +1")
+        if len(np.unique(labels)) < 2:
+            raise ValueError("need both classes present to fit a binary SVM")
+
+        n = len(features)
+        rng = np.random.default_rng(self.seed)
+        self._kernel = self._resolve_kernel(features)
+        gram = self._kernel(features, features)
+
+        alphas = np.zeros(n)
+        bias = 0.0
+        passes = 0
+        iteration = 0
+        while passes < self.max_passes and iteration < self.max_iterations:
+            changed = 0
+            # Cached decision values for all samples under current alphas.
+            decision = (alphas * labels) @ gram + bias
+            errors = decision - labels
+            for i in range(n):
+                error_i = float((alphas * labels) @ gram[:, i] + bias - labels[i])
+                violates = (
+                    (labels[i] * error_i < -self.tol and alphas[i] < self.c)
+                    or (labels[i] * error_i > self.tol and alphas[i] > 0)
+                )
+                if not violates:
+                    continue
+                j = int(rng.integers(0, n - 1))
+                if j >= i:
+                    j += 1
+                error_j = float((alphas * labels) @ gram[:, j] + bias - labels[j])
+
+                alpha_i_old = alphas[i]
+                alpha_j_old = alphas[j]
+                if labels[i] != labels[j]:
+                    low = max(0.0, alphas[j] - alphas[i])
+                    high = min(self.c, self.c + alphas[j] - alphas[i])
+                else:
+                    low = max(0.0, alphas[i] + alphas[j] - self.c)
+                    high = min(self.c, alphas[i] + alphas[j])
+                if low == high:
+                    continue
+                eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+                if eta >= 0:
+                    continue
+                alphas[j] -= labels[j] * (error_i - error_j) / eta
+                alphas[j] = float(np.clip(alphas[j], low, high))
+                if abs(alphas[j] - alpha_j_old) < 1e-5:
+                    continue
+                alphas[i] += labels[i] * labels[j] * (alpha_j_old - alphas[j])
+
+                b1 = (
+                    bias
+                    - error_i
+                    - labels[i] * (alphas[i] - alpha_i_old) * gram[i, i]
+                    - labels[j] * (alphas[j] - alpha_j_old) * gram[i, j]
+                )
+                b2 = (
+                    bias
+                    - error_j
+                    - labels[i] * (alphas[i] - alpha_i_old) * gram[i, j]
+                    - labels[j] * (alphas[j] - alpha_j_old) * gram[j, j]
+                )
+                if 0 < alphas[i] < self.c:
+                    bias = b1
+                elif 0 < alphas[j] < self.c:
+                    bias = b2
+                else:
+                    bias = (b1 + b2) / 2.0
+                changed += 1
+            passes = passes + 1 if changed == 0 else 0
+            iteration += 1
+
+        support = alphas > 1e-8
+        self.support_vectors_ = features[support]
+        self.dual_coef_ = (alphas * labels)[support]
+        self.intercept_ = float(bias)
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed distance to the separating surface."""
+        if self.support_vectors_ is None:
+            raise RuntimeError("SVM is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if len(self.support_vectors_) == 0:
+            return np.full(len(features), self.intercept_)
+        gram = self._kernel(features, self.support_vectors_)
+        return gram @ self.dual_coef_ + self.intercept_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard {-1, +1} predictions."""
+        return np.where(self.decision_function(features) >= 0.0, 1.0, -1.0)
+
+    @property
+    def n_support_(self) -> int:
+        """Number of support vectors after fitting."""
+        if self.support_vectors_ is None:
+            raise RuntimeError("SVM is not fitted")
+        return len(self.support_vectors_)

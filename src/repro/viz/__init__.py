@@ -1,0 +1,5 @@
+"""Terminal visualization helpers (ASCII charts)."""
+
+from .ascii_plot import bar_chart, line_plot, scatter_plot
+
+__all__ = ["line_plot", "scatter_plot", "bar_chart"]

@@ -1,0 +1,146 @@
+"""Terminal (ASCII) plotting for a display-free environment.
+
+The paper's Fig. 5 is a two-series line chart; these helpers render
+such charts as monospace text so experiment runners can show the
+curves directly in a terminal or log file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["line_plot", "scatter_plot", "bar_chart"]
+
+
+def _scale(values: np.ndarray, low: float, high: float, bins: int) -> np.ndarray:
+    """Map values in [low, high] to integer cells [0, bins-1]."""
+    if high == low:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - low) / (high - low) * (bins - 1)
+    return np.clip(np.round(scaled).astype(int), 0, bins - 1)
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    x:
+        Shared x positions.
+    series:
+        ``(name, y_values)`` pairs; each series gets its own glyph
+        (``*``, ``o``, ``+``, ``x``, ...) and a legend line.
+    y_range:
+        Fixed y-axis limits; inferred from the data when omitted.
+
+    >>> chart = line_plot([0, 1], [("acc", [0.5, 1.0])], width=20, height=5)
+    >>> "acc" in chart
+    True
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size == 0 or not series:
+        raise ValueError("line_plot needs at least one point and one series")
+    glyphs = "*o+x@%&"
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series])
+    if y_range is None:
+        y_low, y_high = float(all_y.min()), float(all_y.max())
+        if y_low == y_high:
+            y_low -= 0.5
+            y_high += 0.5
+    else:
+        y_low, y_high = y_range
+
+    canvas = [[" "] * width for _ in range(height)]
+    columns = _scale(x, float(x.min()), float(x.max()), width)
+    for index, (_, y_values) in enumerate(series):
+        y_values = np.asarray(y_values, dtype=float)
+        if y_values.shape != x.shape:
+            raise ValueError("every series must match x in length")
+        rows = _scale(y_values, y_low, y_high, height)
+        glyph = glyphs[index % len(glyphs)]
+        previous = None
+        for column, row in zip(columns, rows):
+            canvas[height - 1 - row][column] = glyph
+            if previous is not None:
+                # Linear interpolation between consecutive points.
+                c0, r0 = previous
+                steps = max(abs(column - c0), abs(row - r0))
+                for step in range(1, steps):
+                    ci = c0 + round((column - c0) * step / steps)
+                    ri = r0 + round((row - r0) * step / steps)
+                    if canvas[height - 1 - ri][ci] == " ":
+                        canvas[height - 1 - ri][ci] = "."
+            previous = (column, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.2f} "
+    bottom_label = f"{y_low:.2f} "
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = top_label.rjust(pad)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * pad + "+" + "-" * width)
+    x_axis = f"{x.min():g}".ljust(width - 8) + f"{x.max():g}"
+    lines.append(" " * (pad + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (pad + 1) + x_label)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, (name, _) in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Single-series scatter without interpolation."""
+    return line_plot(
+        np.asarray(x), [("points", np.asarray(y))], width=width, height=height, title=title
+    )
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart, one row per label.
+
+    >>> print(bar_chart(["a"], [1.0], width=4))   # doctest: +SKIP
+    a  |#### 1.00
+    """
+    values = np.asarray(values, dtype=float)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if len(values) == 0:
+        raise ValueError("bar_chart needs at least one bar")
+    peak = values.max() if values.max() > 0 else 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{str(label).rjust(label_width)} |{bar} {value:.2f}")
+    return "\n".join(lines)

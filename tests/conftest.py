@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.data.dataset import WaferDataset, stratified_split
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> WaferDataset:
+    """A small 9-class dataset (size 16) shared across the session."""
+    counts = {
+        "Center": 12, "Donut": 8, "Edge-Loc": 12, "Edge-Ring": 12,
+        "Location": 10, "Near-Full": 6, "Random": 8, "Scratch": 8,
+        "None": 30,
+    }
+    return generate_dataset(counts, size=16, seed=99)
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_dataset):
+    """(train, validation, test) stratified split of the tiny dataset."""
+    rng = np.random.default_rng(7)
+    return stratified_split(tiny_dataset, [0.6, 0.2, 0.2], rng)
+
+
+def numeric_gradient(func, array, eps=1e-3):
+    """Central-difference gradient of a scalar function of ``array``.
+
+    Mutates ``array`` in place during probing but restores each entry.
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = func()
+        array[index] = original - eps
+        minus = func()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+@pytest.fixture
+def numgrad():
+    return numeric_gradient

@@ -1,0 +1,187 @@
+"""Tests for Algorithm 1 (auto-encoder data augmentation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.augmentation import (
+    AugmentationConfig,
+    augment_class,
+    augment_dataset,
+    rotations_per_sample,
+)
+from repro.core.autoencoder import AutoencoderConfig, ConvAutoencoder
+from repro.data import generate_dataset
+from repro.data.wafer import FAIL, OFF, PASS
+
+
+def fast_config(**overrides):
+    params = dict(
+        target_count=20, ae_epochs=2, ae_channels=(4, 4), seed=0, realias_range=None
+    )
+    params.update(overrides)
+    return AugmentationConfig(**params)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("target_count", 0),
+            ("latent_sigma", -0.1),
+            ("salt_pepper_fraction", 1.5),
+            ("synthetic_weight", 0.0),
+            ("synthetic_weight", 1.5),
+        ],
+    )
+    def test_invalid_values_raise(self, field, value):
+        with pytest.raises(ValueError):
+            AugmentationConfig(**{field: value})
+
+
+class TestRotationsFormula:
+    """n_r = ceil(T / n_cl) - 1, Algorithm 1 line 1."""
+
+    def test_paper_example(self):
+        # Donut: 329 originals, T=8000 -> ceil(8000/329)-1 = 25-1 = 24.
+        assert rotations_per_sample(8000, 329) == 24
+
+    def test_class_already_at_target(self):
+        assert rotations_per_sample(100, 100) == 0
+        assert rotations_per_sample(100, 150) == 0
+
+    def test_exact_division(self):
+        assert rotations_per_sample(100, 50) == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            rotations_per_sample(10, 0)
+
+
+class TestAugmentClass:
+    def make_originals(self, count=5, name="Donut"):
+        return generate_dataset({name: count}, size=16, seed=0).grids
+
+    def make_ae(self):
+        return ConvAutoencoder(AutoencoderConfig(input_size=16, channels=(4, 4), seed=0))
+
+    def test_output_count_is_n_cl_times_n_r(self):
+        originals = self.make_originals(5)
+        config = fast_config(target_count=20)  # n_r = 3
+        synthetic = augment_class(originals, config, autoencoder=self.make_ae())
+        assert len(synthetic) == 5 * 3
+
+    def test_outputs_are_valid_grids(self):
+        originals = self.make_originals(4)
+        synthetic = augment_class(originals, fast_config(), autoencoder=self.make_ae())
+        assert synthetic.dtype == np.uint8
+        for grid in synthetic:
+            assert set(np.unique(grid)) <= {OFF, PASS, FAIL}
+
+    def test_wafer_silhouette_preserved(self):
+        """Each synthetic wafer keeps its *source* wafer's silhouette.
+
+        Synthetics are emitted in source order: n_r variants per
+        original, so synthetic[i * n_r + j] derives from originals[i].
+        """
+        originals = self.make_originals(3)
+        config = fast_config()
+        synthetic = augment_class(originals, config, autoencoder=self.make_ae())
+        n_r = len(synthetic) // len(originals)
+        for index, grid in enumerate(synthetic):
+            source = originals[index // n_r]
+            np.testing.assert_array_equal(grid == OFF, source == OFF)
+
+    def test_count_matched_failure_density(self):
+        """Count-matched quantization keeps synthetic failure counts
+        within s&p-noise distance of the source counts."""
+        originals = self.make_originals(4)
+        config = fast_config(salt_pepper_fraction=0.0, target_count=8)  # n_r = 1
+        synthetic = augment_class(originals, config, autoencoder=self.make_ae())
+        original_counts = sorted(int((g == FAIL).sum()) for g in originals)
+        synth_counts = sorted(int((g == FAIL).sum()) for g in synthetic)
+        # Rotation can clip a couple of dies at the rim; allow small slack.
+        for orig, synth in zip(original_counts, synth_counts):
+            assert abs(orig - synth) <= max(3, 0.2 * orig)
+
+    def test_zero_rotations_returns_empty(self):
+        originals = self.make_originals(5)
+        config = fast_config(target_count=5)
+        synthetic = augment_class(originals, config, autoencoder=self.make_ae())
+        assert synthetic.shape == (0, 16, 16)
+
+    def test_empty_class_raises(self):
+        with pytest.raises(ValueError):
+            augment_class(np.empty((0, 16, 16), dtype=np.uint8), fast_config())
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            augment_class(np.zeros((16, 16), dtype=np.uint8), fast_config())
+
+    def test_trains_autoencoder_when_not_given(self):
+        originals = self.make_originals(3)
+        synthetic = augment_class(originals, fast_config(target_count=6))
+        assert len(synthetic) == 3
+
+
+class TestAugmentDataset:
+    def small_train(self):
+        return generate_dataset(
+            {"Donut": 4, "Scratch": 3, "None": 30}, size=16, seed=1
+        )
+
+    def test_minority_classes_reach_target(self):
+        train = self.small_train()
+        augmented = augment_dataset(train, fast_config(target_count=12))
+        counts = augmented.class_counts()
+        assert counts["Donut"] >= 12
+        assert counts["Scratch"] >= 12
+
+    def test_majority_class_untouched(self):
+        train = self.small_train()
+        augmented = augment_dataset(train, fast_config(target_count=12))
+        assert augmented.class_counts()["None"] == 30
+
+    def test_synthetic_weight_applied(self):
+        train = self.small_train()
+        config = fast_config(target_count=12, synthetic_weight=0.25)
+        augmented = augment_dataset(train, config)
+        weights = augmented.weights()
+        originals = len(train)
+        np.testing.assert_allclose(weights[:originals], 1.0)
+        np.testing.assert_allclose(weights[originals:], 0.25)
+
+    def test_skip_classes(self):
+        train = self.small_train()
+        augmented = augment_dataset(
+            train, fast_config(target_count=12), skip_classes={"Scratch": True}
+        )
+        assert augmented.class_counts()["Scratch"] == 3
+
+    def test_originals_preserved_verbatim(self):
+        train = self.small_train()
+        augmented = augment_dataset(train, fast_config(target_count=12))
+        np.testing.assert_array_equal(augmented.grids[: len(train)], train.grids)
+        np.testing.assert_array_equal(augmented.labels[: len(train)], train.labels)
+
+
+class TestRealias:
+    def test_realias_produces_valid_blocky_grids(self):
+        originals = generate_dataset({"Donut": 4}, size=16, seed=0).grids
+        config = fast_config(target_count=8, realias_range=(8, 12))
+        ae = ConvAutoencoder(AutoencoderConfig(input_size=16, channels=(4, 4), seed=0))
+        synthetic = augment_class(originals, config, autoencoder=ae)
+        assert len(synthetic) == 4
+        for grid in synthetic:
+            assert set(np.unique(grid)) <= {OFF, PASS, FAIL}
+
+    def test_realias_skipped_when_native_not_smaller(self):
+        originals = generate_dataset({"Donut": 3}, size=16, seed=0).grids
+        config = fast_config(target_count=6, realias_range=(16, 16),
+                             salt_pepper_fraction=0.0)
+        ae = ConvAutoencoder(AutoencoderConfig(input_size=16, channels=(4, 4), seed=0))
+        synthetic = augment_class(originals, config, autoencoder=ae)
+        # native == size -> no resampling -> silhouettes preserved.
+        n_r = len(synthetic) // len(originals)
+        for index, grid in enumerate(synthetic):
+            source = originals[index // n_r]
+            np.testing.assert_array_equal(grid == OFF, source == OFF)

@@ -1,0 +1,102 @@
+"""Tests for the convolutional auto-encoder (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.autoencoder import AutoencoderConfig, ConvAutoencoder, train_autoencoder
+from repro.data import generate_dataset
+from repro.data.wafer import grid_to_tensor
+
+
+def small_config():
+    return AutoencoderConfig(input_size=16, channels=(4, 4), kernel_size=3, seed=0)
+
+
+class TestConfig:
+    def test_latent_shape(self):
+        config = AutoencoderConfig(input_size=64, channels=(16, 8, 8))
+        assert config.latent_shape == (8, 8, 8)
+
+    def test_indivisible_size_raises(self):
+        with pytest.raises(ValueError):
+            AutoencoderConfig(input_size=20, channels=(8, 8, 8))
+
+    def test_default_matches_figure3_shape(self):
+        """Paper Fig. 3: 5x5 filters, 2x2 pooling per stage."""
+        config = AutoencoderConfig()
+        assert config.kernel_size == 5
+        assert config.input_size // (2 ** len(config.channels)) >= 4
+
+
+class TestArchitecture:
+    def test_reconstruction_shape_matches_input(self):
+        model = ConvAutoencoder(small_config())
+        x = nn.Tensor(np.random.default_rng(0).random((2, 1, 16, 16)).astype(np.float32))
+        assert model(x).shape == (2, 1, 16, 16)
+
+    def test_output_in_unit_interval(self):
+        model = ConvAutoencoder(small_config())
+        x = nn.Tensor(np.random.default_rng(1).random((2, 1, 16, 16)).astype(np.float32))
+        out = model(x).data
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_encode_shape_is_latent(self):
+        model = ConvAutoencoder(small_config())
+        x = nn.Tensor(np.zeros((3, 1, 16, 16), dtype=np.float32))
+        assert model.encode(x).shape == (3, 4, 4, 4)
+
+    def test_decode_inverts_spatial_compression(self):
+        model = ConvAutoencoder(small_config())
+        z = nn.Tensor(np.zeros((3, 4, 4, 4), dtype=np.float32))
+        assert model.decode(z).shape == (3, 1, 16, 16)
+
+    def test_decoder_mirrors_encoder_depth(self):
+        model = ConvAutoencoder(AutoencoderConfig(input_size=32, channels=(8, 4, 4)))
+        encoder_convs = sum(1 for m in model.encoder if type(m).__name__ == "Conv2D")
+        decoder_convs = sum(1 for m in model.decoder if type(m).__name__ == "Conv2D")
+        assert encoder_convs == decoder_convs == 3
+
+    def test_numpy_helpers_batch_consistency(self):
+        model = ConvAutoencoder(small_config())
+        inputs = np.random.default_rng(2).random((5, 1, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(
+            model.encode_numpy(inputs, batch_size=2),
+            model.encode_numpy(inputs, batch_size=5),
+            rtol=1e-5,
+        )
+
+    def test_empty_inputs(self):
+        model = ConvAutoencoder(small_config())
+        assert model.reconstruct(np.zeros((0, 1, 16, 16), dtype=np.float32)).shape[0] == 0
+        assert model.encode_numpy(np.zeros((0, 1, 16, 16), dtype=np.float32)).shape[0] == 0
+
+
+class TestTraining:
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            train_autoencoder(np.zeros((2, 2), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            train_autoencoder(np.zeros((0, 16, 16), dtype=np.uint8))
+
+    def test_reconstruction_improves_with_training(self):
+        dataset = generate_dataset({"Center": 24}, size=16, seed=0)
+        inputs = np.stack([grid_to_tensor(g) for g in dataset.grids])
+
+        untrained = ConvAutoencoder(small_config())
+        before = float(((untrained.reconstruct(inputs) - inputs) ** 2).mean())
+        trained = train_autoencoder(
+            dataset.grids, config=small_config(), epochs=50, seed=0
+        )
+        after = float(((trained.reconstruct(inputs) - inputs) ** 2).mean())
+        assert after < before * 0.8
+
+    def test_returns_eval_mode(self):
+        dataset = generate_dataset({"Donut": 8}, size=16, seed=1)
+        model = train_autoencoder(dataset.grids, config=small_config(), epochs=1)
+        assert not model.training
+
+    def test_infers_input_size(self):
+        dataset = generate_dataset({"Donut": 4}, size=16, seed=1)
+        model = train_autoencoder(dataset.grids, epochs=1, seed=0)
+        assert model.config.input_size == 16

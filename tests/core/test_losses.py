@@ -1,0 +1,206 @@
+"""Tests for the SelectiveNet objective (Eqs. 6-9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core.losses import (
+    coverage_penalty,
+    empirical_coverage,
+    selective_risk,
+    selectivenet_objective,
+)
+from repro.nn.tensor import Tensor
+
+
+def t(values, requires_grad=False):
+    return Tensor(np.asarray(values, dtype=np.float32), requires_grad=requires_grad)
+
+
+class TestCoverage:
+    def test_is_mean_of_selection(self):
+        assert empirical_coverage(t([1.0, 0.0, 0.5])).data == pytest.approx(0.5)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            empirical_coverage(t([[1.0]]))
+
+
+class TestSelectiveRisk:
+    def test_matches_eq7(self):
+        losses = t([1.0, 2.0, 3.0])
+        selection = t([1.0, 0.0, 1.0])
+        # r = mean(l*g)/mean(g) = ((1+0+3)/3) / (2/3) = 2.0
+        assert selective_risk(losses, selection).data == pytest.approx(2.0, rel=1e-5)
+
+    def test_rejecting_high_loss_lowers_risk(self):
+        losses = t([0.1, 0.1, 5.0])
+        keep_all = selective_risk(losses, t([1.0, 1.0, 1.0])).data
+        reject_bad = selective_risk(losses, t([1.0, 1.0, 0.01])).data
+        assert reject_bad < keep_all
+
+    def test_zero_selection_does_not_blow_up(self):
+        risk = selective_risk(t([1.0, 2.0]), t([0.0, 0.0]))
+        assert np.isfinite(risk.data)
+
+
+class TestCoveragePenalty:
+    def test_hinge_zero_when_coverage_meets_target(self):
+        assert coverage_penalty(t(0.8), 0.5, mode="hinge").data == pytest.approx(0.0)
+
+    def test_hinge_quadratic_below_target(self):
+        assert coverage_penalty(t(0.3), 0.5, mode="hinge").data == pytest.approx(
+            0.04, rel=1e-4
+        )
+
+    def test_symmetric_penalizes_both_sides(self):
+        assert coverage_penalty(t(0.8), 0.5).data == pytest.approx(0.09, rel=1e-4)
+        assert coverage_penalty(t(0.2), 0.5).data == pytest.approx(0.09, rel=1e-4)
+
+    def test_symmetric_zero_at_target(self):
+        assert coverage_penalty(t(0.5), 0.5).data == pytest.approx(0.0, abs=1e-7)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            coverage_penalty(t(0.5), 0.0)
+        with pytest.raises(ValueError):
+            coverage_penalty(t(0.5), 1.5)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            coverage_penalty(t(0.5), 0.5, mode="cubic")
+
+    def test_gradient_pushes_coverage_up(self):
+        for mode in ("hinge", "symmetric"):
+            coverage = t(0.3, requires_grad=True)
+            coverage_penalty(coverage, 0.5, mode=mode).backward()
+            # Below target: gradient descent raises c in both modes.
+            assert coverage.grad[()] < 0
+
+    def test_symmetric_gradient_pushes_coverage_down_when_over(self):
+        coverage = t(0.9, requires_grad=True)
+        coverage_penalty(coverage, 0.5).backward()
+        assert coverage.grad[()] > 0
+
+
+class TestObjective:
+    def make_batch(self, n=8, num_classes=3, seed=0):
+        rng = np.random.default_rng(seed)
+        logits = Tensor(rng.normal(size=(n, num_classes)).astype(np.float32), requires_grad=True)
+        selection = Tensor(rng.uniform(0.2, 0.8, size=n).astype(np.float32), requires_grad=True)
+        labels = rng.integers(0, num_classes, size=n)
+        return logits, selection, labels
+
+    def test_terms_are_recorded(self):
+        logits, selection, labels = self.make_batch()
+        terms = selectivenet_objective(logits, selection, labels, target_coverage=0.5)
+        assert terms.coverage == pytest.approx(float(selection.data.mean()), rel=1e-5)
+        assert terms.selective_risk > 0
+        assert terms.auxiliary_risk > 0
+        assert np.isfinite(float(terms.total.data))
+
+    def test_alpha_one_drops_auxiliary(self):
+        logits, selection, labels = self.make_batch()
+        full = selectivenet_objective(logits, selection, labels, 0.5, alpha=1.0)
+        expected = full.selective_risk + 0.5 * full.penalty
+        assert float(full.total.data) == pytest.approx(expected, rel=1e-4)
+
+    def test_penalty_mode_forwarded(self):
+        logits, selection, labels = self.make_batch()
+        hinge = selectivenet_objective(
+            logits, selection, labels, 0.99, penalty_mode="hinge"
+        )
+        symmetric = selectivenet_objective(
+            logits, selection, labels, 0.99, penalty_mode="symmetric"
+        )
+        # Far below a 0.99 target both modes agree (hinge active).
+        assert hinge.penalty == pytest.approx(symmetric.penalty, rel=1e-5)
+        over = selectivenet_objective(
+            logits, selection, labels, 0.01, penalty_mode="hinge"
+        )
+        assert over.penalty == pytest.approx(0.0, abs=1e-9)
+
+    def test_alpha_zero_is_plain_cross_entropy(self):
+        logits, selection, labels = self.make_batch()
+        terms = selectivenet_objective(logits, selection, labels, 0.5, alpha=0.0)
+        ce = nn.cross_entropy(Tensor(logits.data), labels)
+        assert float(terms.total.data) == pytest.approx(float(ce.data), rel=1e-5)
+
+    def test_invalid_alpha(self):
+        logits, selection, labels = self.make_batch()
+        with pytest.raises(ValueError):
+            selectivenet_objective(logits, selection, labels, 0.5, alpha=1.5)
+
+    def test_negative_lambda(self):
+        logits, selection, labels = self.make_batch()
+        with pytest.raises(ValueError):
+            selectivenet_objective(logits, selection, labels, 0.5, lam=-1.0)
+
+    def test_sample_weights_downweight_synthetics(self):
+        logits, selection, labels = self.make_batch()
+        unweighted = selectivenet_objective(logits, selection, labels, 0.5)
+        weights = np.full(len(labels), 0.5, dtype=np.float32)
+        weighted = selectivenet_objective(
+            logits, selection, labels, 0.5, sample_weights=weights
+        )
+        assert weighted.auxiliary_risk == pytest.approx(
+            unweighted.auxiliary_risk * 0.5, rel=1e-4
+        )
+
+    def test_weights_shape_mismatch_raises(self):
+        logits, selection, labels = self.make_batch()
+        with pytest.raises(ValueError):
+            selectivenet_objective(
+                logits, selection, labels, 0.5, sample_weights=np.ones(3)
+            )
+
+    def test_gradients_flow_to_both_inputs(self):
+        logits, selection, labels = self.make_batch()
+        terms = selectivenet_objective(logits, selection, labels, 0.9)
+        terms.total.backward()
+        assert logits.grad is not None and np.any(logits.grad != 0)
+        assert selection.grad is not None and np.any(selection.grad != 0)
+
+    def test_selection_gradient_negative_when_under_coverage(self):
+        """Below-target coverage: raising every g reduces the penalty.
+
+        With equal per-sample losses the risk term is indifferent, so
+        the aggregate gradient on the selection scores must be negative
+        (descent raises coverage).
+        """
+        n = 4
+        logits = Tensor(np.zeros((n, 2), dtype=np.float32))
+        selection = Tensor(np.full(n, 0.1, dtype=np.float32), requires_grad=True)
+        labels = np.zeros(n, dtype=np.int64)
+        terms = selectivenet_objective(logits, selection, labels, 0.9, lam=10.0)
+        terms.total.backward()
+        assert selection.grad.sum() < 0
+
+
+@given(
+    st.integers(2, 32),
+    st.floats(0.1, 1.0),
+    st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_objective_finite(n, target, seed):
+    """Property: the objective is finite for any batch and target."""
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(n, 4)).astype(np.float32))
+    selection = Tensor(rng.uniform(0.01, 0.99, size=n).astype(np.float32))
+    labels = rng.integers(0, 4, size=n)
+    terms = selectivenet_objective(logits, selection, labels, target)
+    assert np.isfinite(float(terms.total.data))
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_property_risk_bounded_by_max_loss(seed):
+    """Property: selective risk never exceeds the max per-sample loss."""
+    rng = np.random.default_rng(seed)
+    losses = Tensor(rng.uniform(0, 5, size=10).astype(np.float32))
+    selection = Tensor(rng.uniform(0.1, 1.0, size=10).astype(np.float32))
+    risk = float(selective_risk(losses, selection).data)
+    assert risk <= float(losses.data.max()) + 1e-4

@@ -1,0 +1,88 @@
+"""Tests for classifier pipeline persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.cnn import BackboneConfig
+from repro.core.persistence import load_classifier, save_classifier
+from repro.core.pipeline import FullCoverageWaferClassifier, SelectiveWaferClassifier
+from repro.core.trainer import TrainConfig
+
+
+def fast_backbone(size):
+    return BackboneConfig(
+        input_size=size, conv_channels=(4, 4), conv_kernels=(3, 3), fc_units=16, seed=0
+    )
+
+
+def fast_train():
+    return TrainConfig(epochs=2, batch_size=16, seed=0)
+
+
+class TestSelectiveRoundtrip:
+    def test_predictions_identical_after_reload(self, tiny_splits, tmp_path):
+        train, validation, test = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(),
+        )
+        classifier.fit(train, validation=validation, calibrate=True)
+        path = tmp_path / "clf.npz"
+        save_classifier(classifier, path)
+
+        loaded = load_classifier(path)
+        assert isinstance(loaded, SelectiveWaferClassifier)
+        original = classifier.predict_dataset(test)
+        restored = loaded.predict_dataset(test)
+        np.testing.assert_array_equal(original.labels, restored.labels)
+        np.testing.assert_allclose(
+            original.selection_scores, restored.selection_scores, rtol=1e-6
+        )
+
+    def test_threshold_travels(self, tiny_splits, tmp_path):
+        train, validation, __ = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(),
+        )
+        classifier.fit(train, validation=validation, calibrate=True)
+        path = tmp_path / "clf.npz"
+        save_classifier(classifier, path)
+        loaded = load_classifier(path)
+        assert loaded.model.threshold == pytest.approx(classifier.model.threshold)
+
+    def test_class_names_travel(self, tiny_splits, tmp_path):
+        train, __, __ = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(),
+        )
+        classifier.fit(train)
+        path = tmp_path / "clf.npz"
+        save_classifier(classifier, path)
+        assert load_classifier(path).class_names == train.class_names
+
+
+class TestFullCoverageRoundtrip:
+    def test_predictions_identical(self, tiny_splits, tmp_path):
+        train, __, test = tiny_splits
+        classifier = FullCoverageWaferClassifier(
+            backbone=fast_backbone(train.map_size), train=fast_train()
+        )
+        classifier.fit(train)
+        path = tmp_path / "cnn.npz"
+        save_classifier(classifier, path)
+        loaded = load_classifier(path)
+        assert isinstance(loaded, FullCoverageWaferClassifier)
+        np.testing.assert_array_equal(
+            classifier.predict_dataset(test), loaded.predict_dataset(test)
+        )
+
+
+class TestErrors:
+    def test_unfitted_classifier_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_classifier(SelectiveWaferClassifier(), tmp_path / "x.npz")

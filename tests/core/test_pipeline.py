@@ -1,0 +1,129 @@
+"""End-to-end tests for the high-level classifier pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.augmentation import AugmentationConfig
+from repro.core.cnn import BackboneConfig
+from repro.core.pipeline import FullCoverageWaferClassifier, SelectiveWaferClassifier
+from repro.core.selective import ABSTAIN
+from repro.core.trainer import TrainConfig
+
+
+def fast_backbone(size):
+    return BackboneConfig(
+        input_size=size, conv_channels=(4, 4), conv_kernels=(3, 3), fc_units=16, seed=0
+    )
+
+
+def fast_train(**overrides):
+    params = dict(epochs=6, batch_size=16, learning_rate=3e-3, seed=0)
+    params.update(overrides)
+    return TrainConfig(**params)
+
+
+class TestSelectiveWaferClassifier:
+    def test_invalid_target_coverage(self):
+        with pytest.raises(ValueError):
+            SelectiveWaferClassifier(target_coverage=0.0)
+
+    def test_predict_before_fit_raises(self, tiny_splits):
+        __, __, test = tiny_splits
+        classifier = SelectiveWaferClassifier()
+        with pytest.raises(RuntimeError):
+            classifier.predict_dataset(test)
+
+    def test_fit_predict_roundtrip(self, tiny_splits):
+        train, validation, test = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(),
+        )
+        classifier.fit(train, validation=validation)
+        prediction = classifier.predict_dataset(test)
+        assert prediction.labels.shape == (len(test),)
+        abstained = prediction.labels == ABSTAIN
+        np.testing.assert_array_equal(abstained, ~prediction.accepted)
+
+    def test_calibration_requires_validation(self, tiny_splits):
+        train, __, __ = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(epochs=1),
+        )
+        with pytest.raises(ValueError):
+            classifier.fit(train, calibrate=True)
+
+    def test_calibration_moves_threshold(self, tiny_splits):
+        train, validation, __ = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(epochs=2),
+        )
+        classifier.fit(train, validation=validation, calibrate=True)
+        assert classifier.calibration is not None
+        assert classifier.model.threshold == classifier.calibration.threshold
+        assert classifier.calibration.realized_coverage >= 0.5
+
+    def test_history_recorded(self, tiny_splits):
+        train, __, __ = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(epochs=3),
+        )
+        classifier.fit(train)
+        assert len(classifier.history.epochs) == 3
+
+    def test_augmentation_config_applied(self, tiny_splits):
+        train, __, __ = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(epochs=1),
+            augmentation=AugmentationConfig(
+                target_count=15, ae_epochs=1, ae_channels=(4, 4), seed=0
+            ),
+        )
+        classifier.fit(train)  # must not raise; augments internally
+        assert classifier.model is not None
+
+    def test_explicit_threshold_overrides(self, tiny_splits):
+        train, __, test = tiny_splits
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=fast_backbone(train.map_size),
+            train=fast_train(epochs=2),
+        )
+        classifier.fit(train)
+        everything = classifier.predict_dataset(test, threshold=-1e9)
+        assert everything.coverage == 1.0
+
+
+class TestFullCoverageWaferClassifier:
+    def test_fit_predict(self, tiny_splits):
+        train, __, test = tiny_splits
+        classifier = FullCoverageWaferClassifier(
+            backbone=fast_backbone(train.map_size), train=fast_train()
+        )
+        classifier.fit(train)
+        predictions = classifier.predict_dataset(test)
+        assert predictions.shape == (len(test),)
+        assert predictions.min() >= 0
+        assert predictions.max() < train.num_classes
+
+    def test_predict_before_fit_raises(self, tiny_splits):
+        __, __, test = tiny_splits
+        with pytest.raises(RuntimeError):
+            FullCoverageWaferClassifier().predict_dataset(test)
+
+    def test_class_names_remembered(self, tiny_splits):
+        train, __, __ = tiny_splits
+        classifier = FullCoverageWaferClassifier(
+            backbone=fast_backbone(train.map_size), train=fast_train(epochs=1)
+        )
+        classifier.fit(train)
+        assert classifier.class_names == train.class_names

@@ -1,0 +1,89 @@
+"""Tests for risk-coverage curve analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.risk_coverage import (
+    RiskCoveragePoint,
+    area_under_risk_coverage,
+    risk_coverage_curve,
+)
+
+
+class TestCurve:
+    def test_empty_input(self):
+        assert risk_coverage_curve(np.array([]), np.array([])) == []
+
+    def test_last_point_is_full_coverage(self):
+        scores = np.array([0.9, 0.5, 0.1])
+        correct = np.array([True, False, True])
+        points = risk_coverage_curve(scores, correct)
+        assert points[-1].coverage == pytest.approx(1.0)
+        assert points[-1].risk == pytest.approx(1 / 3)
+
+    def test_coverage_monotone_increasing(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(50)
+        correct = rng.random(50) < 0.8
+        points = risk_coverage_curve(scores, correct)
+        coverages = [p.coverage for p in points]
+        assert coverages == sorted(coverages)
+
+    def test_perfect_selector_risk_zero_then_rises(self):
+        # High scores all correct, low scores all wrong.
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        correct = np.array([True, True, False, False])
+        points = risk_coverage_curve(scores, correct)
+        assert points[0].risk == pytest.approx(0.0)
+        assert points[-1].risk == pytest.approx(0.5)
+
+    def test_ties_collapse_to_one_point(self):
+        scores = np.array([0.5, 0.5, 0.5])
+        correct = np.array([True, False, True])
+        points = risk_coverage_curve(scores, correct)
+        assert len(points) == 1
+        assert points[0].coverage == 1.0
+
+    def test_selective_accuracy_property(self):
+        point = RiskCoveragePoint(threshold=0.5, coverage=0.8, risk=0.1)
+        assert point.selective_accuracy == pytest.approx(0.9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            risk_coverage_curve(np.array([0.5]), np.array([True, False]))
+
+
+class TestArea:
+    def test_fewer_than_two_points_zero(self):
+        assert area_under_risk_coverage([]) == 0.0
+        assert area_under_risk_coverage([RiskCoveragePoint(0.5, 1.0, 0.1)]) == 0.0
+
+    def test_constant_risk(self):
+        points = [
+            RiskCoveragePoint(0.9, 0.2, 0.1),
+            RiskCoveragePoint(0.1, 1.0, 0.1),
+        ]
+        assert area_under_risk_coverage(points) == pytest.approx(0.1 * 0.8)
+
+    def test_better_selector_has_smaller_area(self):
+        scores = np.linspace(1, 0, 100)
+        correct_good = scores > 0.2  # errors only at the lowest scores
+        rng = np.random.default_rng(0)
+        correct_bad = rng.permutation(correct_good)  # same errors, no ordering
+        area_good = area_under_risk_coverage(risk_coverage_curve(scores, correct_good))
+        area_bad = area_under_risk_coverage(risk_coverage_curve(scores, correct_bad))
+        assert area_good < area_bad
+
+
+@given(st.integers(1, 60), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_property_risk_within_unit_interval(n, seed):
+    """Property: all curve risks lie in [0, 1]; coverage in (0, 1]."""
+    rng = np.random.default_rng(seed)
+    scores = rng.random(n)
+    correct = rng.random(n) < 0.5
+    for point in risk_coverage_curve(scores, correct):
+        assert 0.0 <= point.risk <= 1.0
+        assert 0.0 < point.coverage <= 1.0

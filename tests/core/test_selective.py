@@ -1,0 +1,124 @@
+"""Tests for the SelectiveNet model and selective inference."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.cnn import BackboneConfig
+from repro.core.selective import ABSTAIN, SelectiveNet, SelectivePrediction
+
+
+def small_config():
+    return BackboneConfig(
+        input_size=16, conv_channels=(4, 4), conv_kernels=(3, 3), fc_units=8
+    )
+
+
+def make_model(**kwargs):
+    return SelectiveNet(num_classes=3, config=small_config(), **kwargs)
+
+
+class TestForward:
+    def test_two_heads(self):
+        model = make_model()
+        logits, selection = model(nn.Tensor(np.zeros((4, 1, 16, 16), dtype=np.float32)))
+        assert logits.shape == (4, 3)
+        assert selection.shape == (4,)
+
+    def test_selection_in_unit_interval(self):
+        model = make_model()
+        x = nn.Tensor(np.random.default_rng(0).random((8, 1, 16, 16)).astype(np.float32))
+        __, selection = model(x)
+        assert np.all(selection.data > 0) and np.all(selection.data < 1)
+
+    def test_hidden_selection_head(self):
+        model = make_model(selection_hidden=16)
+        __, selection = model(nn.Tensor(np.zeros((2, 1, 16, 16), dtype=np.float32)))
+        assert selection.shape == (2,)
+
+    def test_threshold_default_is_logit_zero(self):
+        # Logit 0 corresponds to the paper's g(x) >= 0.5 rule.
+        assert make_model().threshold == 0.0
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            SelectiveNet(num_classes=1, config=small_config())
+
+    def test_gradients_reach_both_heads(self):
+        model = make_model()
+        logits, selection = model(
+            nn.Tensor(np.random.default_rng(1).random((2, 1, 16, 16)).astype(np.float32))
+        )
+        (logits.sum() + selection.sum()).backward()
+        assert model.prediction_head.weight.grad is not None
+        assert all(p.grad is not None for p in model.selection_head.parameters())
+
+
+class TestSelectiveInference:
+    def test_abstain_label_is_minus_one(self):
+        assert ABSTAIN == -1
+
+    def test_threshold_one_sided(self):
+        model = make_model()
+        inputs = np.random.default_rng(2).random((10, 1, 16, 16)).astype(np.float32)
+        prediction = model.predict_selective(inputs, threshold=1e9)
+        # With an extreme logit threshold everything abstains.
+        assert prediction.coverage == 0.0
+        prediction = model.predict_selective(inputs, threshold=-1e9)
+        assert prediction.coverage == 1.0
+
+    def test_labels_match_accept_mask(self):
+        model = make_model()
+        inputs = np.random.default_rng(3).random((12, 1, 16, 16)).astype(np.float32)
+        prediction = model.predict_selective(inputs, threshold=0.5)
+        assert np.all(prediction.labels[~prediction.accepted] == ABSTAIN)
+        assert np.all(
+            prediction.labels[prediction.accepted]
+            == prediction.raw_labels[prediction.accepted]
+        )
+
+    def test_raw_labels_are_argmax(self):
+        model = make_model()
+        inputs = np.random.default_rng(4).random((6, 1, 16, 16)).astype(np.float32)
+        prediction = model.predict_selective(inputs)
+        np.testing.assert_array_equal(
+            prediction.raw_labels, prediction.probabilities.argmax(axis=1)
+        )
+
+    def test_coverage_property(self):
+        prediction = SelectivePrediction(
+            labels=np.array([0, ABSTAIN, 1, ABSTAIN]),
+            raw_labels=np.array([0, 2, 1, 0]),
+            selection_scores=np.array([0.9, 0.1, 0.8, 0.2]),
+            accepted=np.array([True, False, True, False]),
+            probabilities=np.zeros((4, 3)),
+        )
+        assert prediction.coverage == 0.5
+
+    def test_empty_input_coverage_zero(self):
+        model = make_model()
+        prediction = model.predict_selective(np.zeros((0, 1, 16, 16), dtype=np.float32))
+        assert prediction.coverage == 0.0
+        assert prediction.labels.shape == (0,)
+
+    def test_default_threshold_from_model(self):
+        model = make_model()
+        model.threshold = 0.02
+        inputs = np.random.default_rng(5).random((8, 1, 16, 16)).astype(np.float32)
+        a = model.predict_selective(inputs)
+        b = model.predict_selective(inputs, threshold=0.02)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_batched_equals_single_shot(self):
+        model = make_model()
+        inputs = np.random.default_rng(6).random((9, 1, 16, 16)).astype(np.float32)
+        probs_small, scores_small = model.predict_batched(inputs, batch_size=2)
+        probs_big, scores_big = model.predict_batched(inputs, batch_size=64)
+        np.testing.assert_allclose(probs_small, probs_big, rtol=1e-5)
+        np.testing.assert_allclose(scores_small, scores_big, rtol=1e-4, atol=1e-5)
+
+    def test_inference_restores_training_mode(self):
+        model = make_model()
+        model.train()
+        model.predict_selective(np.zeros((1, 1, 16, 16), dtype=np.float32))
+        assert model.training

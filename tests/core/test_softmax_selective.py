@@ -1,0 +1,76 @@
+"""Tests for the softmax-response selective baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.cnn import BackboneConfig, WaferCNN
+from repro.core.selective import ABSTAIN
+from repro.core.softmax_selective import SoftmaxResponseSelector
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = BackboneConfig(
+        input_size=16, conv_channels=(4, 4), conv_kernels=(3, 3), fc_units=8, seed=0
+    )
+    return WaferCNN(num_classes=3, config=config)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return np.random.default_rng(0).random((12, 1, 16, 16)).astype(np.float32)
+
+
+class TestValidation:
+    def test_invalid_threshold(self, model):
+        with pytest.raises(ValueError):
+            SoftmaxResponseSelector(model, threshold=0.0)
+
+
+class TestConfidence:
+    def test_scores_in_valid_range(self, model, inputs):
+        selector = SoftmaxResponseSelector(model)
+        scores = selector.confidence(inputs)
+        # Max of a 3-class softmax lies in [1/3, 1].
+        assert np.all(scores >= 1 / 3 - 1e-6)
+        assert np.all(scores <= 1.0)
+
+    def test_empty_input(self, model):
+        selector = SoftmaxResponseSelector(model)
+        assert selector.confidence(np.zeros((0, 1, 16, 16), dtype=np.float32)).shape == (0,)
+
+
+class TestSelectivePrediction:
+    def test_low_threshold_accepts_all(self, model, inputs):
+        selector = SoftmaxResponseSelector(model, threshold=0.01)
+        prediction = selector.predict_selective(inputs)
+        assert prediction.coverage == 1.0
+
+    def test_impossible_threshold_rejects_all(self, model, inputs):
+        selector = SoftmaxResponseSelector(model)
+        prediction = selector.predict_selective(inputs, threshold=1.0 + 1e-6)
+        assert prediction.coverage == 0.0
+        assert np.all(prediction.labels == ABSTAIN)
+
+    def test_raw_labels_unaffected_by_threshold(self, model, inputs):
+        selector = SoftmaxResponseSelector(model)
+        strict = selector.predict_selective(inputs, threshold=0.99)
+        loose = selector.predict_selective(inputs, threshold=0.01)
+        np.testing.assert_array_equal(strict.raw_labels, loose.raw_labels)
+
+    def test_empty_input(self, model):
+        selector = SoftmaxResponseSelector(model)
+        prediction = selector.predict_selective(np.zeros((0, 1, 16, 16), dtype=np.float32))
+        assert prediction.labels.shape == (0,)
+        assert prediction.coverage == 0.0
+
+
+class TestCalibration:
+    def test_calibration_hits_target(self, model, inputs):
+        labels = np.random.default_rng(1).integers(0, 3, len(inputs))
+        selector = SoftmaxResponseSelector(model)
+        result = selector.calibrate_coverage(inputs, labels, 0.5)
+        assert result.realized_coverage >= 0.5
+        assert selector.threshold == result.threshold
+        prediction = selector.predict_selective(inputs)
+        assert prediction.coverage >= 0.5

@@ -1,0 +1,97 @@
+"""Tests for dataset synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    PAPER_TEST_COUNTS,
+    PAPER_TRAIN_COUNTS,
+    generate_dataset,
+    generate_paper_profile,
+    scaled_counts,
+)
+from repro.data.patterns import CLASS_NAMES
+
+
+class TestPaperCounts:
+    def test_train_total_matches_table2(self):
+        assert sum(PAPER_TRAIN_COUNTS.values()) == 43484
+
+    def test_test_total_matches_table2(self):
+        assert sum(PAPER_TEST_COUNTS.values()) == 10871
+
+    def test_none_dominates(self):
+        assert PAPER_TRAIN_COUNTS["None"] > sum(
+            v for k, v in PAPER_TRAIN_COUNTS.items() if k != "None"
+        )
+
+    def test_near_full_is_rarest(self):
+        assert min(PAPER_TRAIN_COUNTS, key=PAPER_TRAIN_COUNTS.get) == "Near-Full"
+
+
+class TestScaledCounts:
+    def test_scaling(self):
+        assert scaled_counts({"A": 100, "B": 10}, 0.1) == {"A": 10, "B": 1}
+
+    def test_minimum_enforced(self):
+        assert scaled_counts({"A": 3}, 0.01, minimum=2) == {"A": 2}
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_counts({"A": 1}, 0.0)
+
+
+class TestGenerateDataset:
+    def test_counts_respected(self):
+        counts = {"Center": 3, "None": 5}
+        dataset = generate_dataset(counts, size=16, seed=0)
+        assert dataset.class_counts()["Center"] == 3
+        assert dataset.class_counts()["None"] == 5
+        assert len(dataset) == 8
+
+    def test_full_vocabulary_kept(self):
+        dataset = generate_dataset({"Center": 2}, size=16, seed=0)
+        assert dataset.class_names == CLASS_NAMES
+
+    def test_deterministic_by_seed(self):
+        a = generate_dataset({"Donut": 4}, size=16, seed=3)
+        b = generate_dataset({"Donut": 4}, size=16, seed=3)
+        np.testing.assert_array_equal(a.grids, b.grids)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset({"Donut": 4}, size=16, seed=3)
+        b = generate_dataset({"Donut": 4}, size=16, seed=4)
+        assert not np.array_equal(a.grids, b.grids)
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ValueError):
+            generate_dataset({"Swirl": 2}, size=16)
+
+    def test_samples_shuffled_not_grouped(self):
+        dataset = generate_dataset({"Center": 20, "None": 20}, size=16, seed=0)
+        # If shuffled, the first 20 cannot all be the same class
+        # (probability ~ 2^-37 under a uniform shuffle).
+        assert len(set(dataset.labels[:20].tolist())) > 1
+
+    def test_empty_counts(self):
+        dataset = generate_dataset({}, size=16, seed=0)
+        assert len(dataset) == 0
+
+    def test_custom_vocabulary(self):
+        dataset = generate_dataset(
+            {"Center": 2}, size=16, seed=0, class_names=("Center", "None")
+        )
+        assert dataset.class_names == ("Center", "None")
+
+
+class TestPaperProfile:
+    def test_profile_ratios(self):
+        data = generate_paper_profile(scale=0.01, size=16, seed=0)
+        train_counts = data["train"].class_counts()
+        # Ratio None : Center should be roughly the paper's 29357 : 2767.
+        ratio = train_counts["None"] / train_counts["Center"]
+        assert 8 < ratio < 13
+
+    def test_train_and_test_differ(self):
+        data = generate_paper_profile(scale=0.005, size=16, seed=0)
+        assert len(data["train"]) > len(data["test"])

@@ -1,0 +1,79 @@
+"""Tests for the WM-811K interchange loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.interchange import KAGGLE_NAME_MAP, load_interchange
+from repro.data.patterns import CLASS_NAMES
+
+
+def write_interchange(root, maps, labels):
+    np.save(root / "maps.npy", np.array(maps, dtype=object), allow_pickle=True)
+    (root / "labels.txt").write_text("".join(label + "\n" for label in labels))
+
+
+def make_map(size, fill=1):
+    grid = np.full((size, size), fill, dtype=np.uint8)
+    grid[0, 0] = 0
+    return grid
+
+
+class TestNameMap:
+    def test_covers_all_canonical_classes(self):
+        assert set(KAGGLE_NAME_MAP.values()) == set(CLASS_NAMES)
+
+    def test_kaggle_quirks(self):
+        assert KAGGLE_NAME_MAP["Loc"] == "Location"
+        assert KAGGLE_NAME_MAP["Near-full"] == "Near-Full"
+        assert KAGGLE_NAME_MAP["none"] == "None"
+
+
+class TestLoad:
+    def test_roundtrip_with_kaggle_names(self, tmp_path):
+        write_interchange(
+            tmp_path,
+            [make_map(16), make_map(16, fill=2)],
+            ["Loc", "none"],
+        )
+        dataset = load_interchange(tmp_path, size=16)
+        assert len(dataset) == 2
+        assert dataset.class_counts()["Location"] == 1
+        assert dataset.class_counts()["None"] == 1
+
+    def test_canonical_names_accepted(self, tmp_path):
+        write_interchange(tmp_path, [make_map(16)], ["Edge-Ring"])
+        dataset = load_interchange(tmp_path, size=16)
+        assert dataset.class_counts()["Edge-Ring"] == 1
+
+    def test_varying_resolutions_rescaled(self, tmp_path):
+        write_interchange(
+            tmp_path, [make_map(10), make_map(30)], ["Center", "Center"]
+        )
+        dataset = load_interchange(tmp_path, size=20)
+        assert dataset.grids.shape == (2, 20, 20)
+
+    def test_limit(self, tmp_path):
+        write_interchange(
+            tmp_path, [make_map(8)] * 5, ["none"] * 5
+        )
+        assert len(load_interchange(tmp_path, size=8, limit=3)) == 3
+
+    def test_unknown_label_raises(self, tmp_path):
+        write_interchange(tmp_path, [make_map(8)], ["Swirl"])
+        with pytest.raises(ValueError, match="Swirl"):
+            load_interchange(tmp_path, size=8)
+
+    def test_count_mismatch_raises(self, tmp_path):
+        write_interchange(tmp_path, [make_map(8)], ["none", "none"])
+        with pytest.raises(ValueError, match="labels"):
+            load_interchange(tmp_path, size=8)
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_interchange(tmp_path / "nope", size=8)
+
+    def test_invalid_values_raise(self, tmp_path):
+        bad = np.full((8, 8), 7, dtype=np.uint8)
+        write_interchange(tmp_path, [bad], ["none"])
+        with pytest.raises(ValueError, match="values"):
+            load_interchange(tmp_path, size=8)

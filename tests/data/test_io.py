@@ -1,0 +1,46 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import WaferDataset
+from repro.data.io import load_dataset, save_dataset
+
+
+def small_dataset(weights=None):
+    rng = np.random.default_rng(0)
+    grids = rng.integers(0, 3, size=(6, 8, 8)).astype(np.uint8)
+    labels = np.array([0, 1, 2, 0, 1, 2], dtype=np.int64)
+    return WaferDataset(grids, labels, ("A", "B", "C"), weights)
+
+
+class TestRoundtrip:
+    def test_grids_labels_names(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "ds.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.grids, dataset.grids)
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        assert loaded.class_names == dataset.class_names
+        assert loaded.sample_weights is None
+
+    def test_weights_preserved(self, tmp_path):
+        weights = np.array([1, 1, 0.5, 0.5, 1, 0.25], dtype=np.float32)
+        dataset = small_dataset(weights)
+        path = tmp_path / "ds.npz"
+        save_dataset(dataset, path)
+        np.testing.assert_allclose(load_dataset(path).sample_weights, weights)
+
+    def test_creates_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "ds.npz"
+        save_dataset(small_dataset(), path)
+        assert path.exists()
+
+    def test_unicode_class_names(self, tmp_path):
+        dataset = WaferDataset(
+            np.zeros((1, 4, 4), dtype=np.uint8), np.array([0]), ("Near-Full",)
+        )
+        path = tmp_path / "ds.npz"
+        save_dataset(dataset, path)
+        assert load_dataset(path).class_names == ("Near-Full",)

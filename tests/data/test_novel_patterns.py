@@ -1,0 +1,77 @@
+"""Tests for the novel (non-WM-811K) defect pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.patterns import (
+    CLASS_NAMES,
+    NOVEL_PATTERN_CLASSES,
+    CheckerboardPattern,
+    GridPattern,
+    HalfMoonPattern,
+    make_novel_generator,
+)
+from repro.data.wafer import FAIL, OFF, PASS, failure_rate
+
+
+class TestRegistry:
+    def test_disjoint_from_canonical_classes(self):
+        assert not set(NOVEL_PATTERN_CLASSES) & set(CLASS_NAMES)
+
+    def test_make_by_name(self):
+        for name in NOVEL_PATTERN_CLASSES:
+            generator = make_novel_generator(name, size=24)
+            assert generator.name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_novel_generator("Spiral")
+
+
+class TestValidity:
+    @pytest.mark.parametrize("name", sorted(NOVEL_PATTERN_CLASSES))
+    def test_samples_are_valid_grids(self, name, rng):
+        generator = make_novel_generator(name, size=24)
+        grid = generator.sample(rng)
+        assert grid.shape == (24, 24)
+        assert set(np.unique(grid)) <= {OFF, PASS, FAIL}
+        np.testing.assert_array_equal(grid == OFF, ~generator.mask)
+
+
+class TestSignatures:
+    def test_grid_lines_are_axis_aligned(self, rng):
+        generator = GridPattern(size=32, background_rate=(0.0, 1e-9), deformation=0.0)
+        grid = generator.sample(rng)
+        fails = grid == FAIL
+        row_counts = fails.sum(axis=1)
+        col_counts = fails.sum(axis=0)
+        # Some rows/columns carry many failures, most carry few.
+        assert row_counts.max() > 4 * max(np.median(row_counts), 1)
+        assert col_counts.max() > 4 * max(np.median(col_counts), 1)
+
+    def test_half_moon_is_one_sided(self, rng):
+        generator = HalfMoonPattern(size=32, background_rate=(0.0, 1e-9), deformation=0.0)
+        for _ in range(5):
+            grid = generator.sample(rng)
+            fails = np.argwhere(grid == FAIL)
+            if len(fails) < 20:
+                continue
+            center = (32 - 1) / 2.0
+            centered = fails - center
+            # Failures live in a half-plane: the centroid is far from
+            # the wafer center.
+            centroid_norm = np.linalg.norm(centered.mean(axis=0))
+            assert centroid_norm > 2.0
+
+    def test_checkerboard_alternates(self, rng):
+        generator = CheckerboardPattern(size=32, background_rate=(0.0, 1e-9), deformation=0.0)
+        grid = generator.sample(rng)
+        rate = failure_rate(grid)
+        # Roughly half the wafer fails.
+        assert 0.2 < rate < 0.75
+
+    def test_novel_patterns_differ_from_canonical_density_profile(self, rng):
+        """Smoke check: novel samples are proper defect wafers."""
+        for name in NOVEL_PATTERN_CLASSES:
+            grid = make_novel_generator(name, size=24).sample(rng)
+            assert 0.03 < failure_rate(grid) < 0.95

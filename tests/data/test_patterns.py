@@ -1,0 +1,229 @@
+"""Tests for the synthetic defect-pattern generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.patterns import (
+    CLASS_NAMES,
+    PATTERN_CLASSES,
+    CenterPattern,
+    DonutPattern,
+    EdgeLocPattern,
+    EdgeRingPattern,
+    LocationPattern,
+    MixedPattern,
+    NearFullPattern,
+    NonePattern,
+    RandomPattern,
+    ScratchPattern,
+    make_generator,
+    polar_coordinates,
+)
+from repro.data.wafer import FAIL, OFF, PASS, disk_mask, failure_rate
+
+
+class TestRegistry:
+    def test_nine_canonical_classes(self):
+        assert len(CLASS_NAMES) == 9
+        assert CLASS_NAMES == (
+            "Center", "Donut", "Edge-Loc", "Edge-Ring", "Location",
+            "Near-Full", "Random", "Scratch", "None",
+        )
+
+    def test_make_generator_by_name(self):
+        for name in CLASS_NAMES:
+            generator = make_generator(name, size=16)
+            assert generator.name == name
+            assert generator.size == 16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown pattern class"):
+            make_generator("Swirl")
+
+    def test_registry_types_match_names(self):
+        for name, cls in PATTERN_CLASSES.items():
+            assert cls.name == name
+
+
+class TestPolarCoordinates:
+    def test_center_radius_zero(self):
+        r, __ = polar_coordinates(17)
+        assert r[8, 8] == pytest.approx(0.0)
+
+    def test_edge_radius_near_one(self):
+        r, __ = polar_coordinates(17)
+        assert r[8, 16] == pytest.approx(1.0, abs=0.07)
+
+    def test_theta_range(self):
+        __, theta = polar_coordinates(9)
+        assert theta.min() >= -np.pi and theta.max() <= np.pi
+
+
+class TestAllGeneratorsProduceValidWafers:
+    @pytest.mark.parametrize("name", CLASS_NAMES)
+    def test_valid_grid(self, name, rng):
+        grid = make_generator(name, size=24).sample(rng)
+        assert grid.shape == (24, 24)
+        assert grid.dtype == np.uint8
+        assert set(np.unique(grid)) <= {OFF, PASS, FAIL}
+
+    @pytest.mark.parametrize("name", CLASS_NAMES)
+    def test_respects_disk_mask(self, name, rng):
+        generator = make_generator(name, size=24)
+        grid = generator.sample(rng)
+        np.testing.assert_array_equal(grid == OFF, ~generator.mask)
+
+    @pytest.mark.parametrize("name", CLASS_NAMES)
+    def test_sample_batch_shape(self, name, rng):
+        batch = make_generator(name, size=16).sample_batch(5, rng)
+        assert batch.shape == (5, 16, 16)
+
+    def test_sample_batch_zero(self, rng):
+        assert make_generator("None", size=16).sample_batch(0, rng).shape == (0, 16, 16)
+
+    def test_sample_batch_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_generator("None", size=16).sample_batch(-1, rng)
+
+    def test_too_small_size_raises(self):
+        with pytest.raises(ValueError):
+            make_generator("Center", size=4)
+
+
+class TestClassSignatures:
+    """Each class's samples carry their distinguishing spatial statistic."""
+
+    SIZE = 32
+
+    def batch(self, name, rng, count=20):
+        return make_generator(name, size=self.SIZE).sample_batch(count, rng)
+
+    def test_none_has_low_failure_rate(self, rng):
+        rates = [failure_rate(g) for g in self.batch("None", rng)]
+        assert np.mean(rates) < 0.08
+
+    def test_near_full_has_high_failure_rate(self, rng):
+        rates = [failure_rate(g) for g in self.batch("Near-Full", rng)]
+        assert np.mean(rates) > 0.7
+
+    def test_random_rate_between_none_and_near_full(self, rng):
+        rate = np.mean([failure_rate(g) for g in self.batch("Random", rng)])
+        assert 0.12 < rate < 0.55
+
+    def test_center_fails_concentrated_inside(self, rng):
+        r, __ = polar_coordinates(self.SIZE)
+        inner = []
+        for grid in self.batch("Center", rng):
+            fails = grid == FAIL
+            inner.append((fails & (r < 0.5)).sum() / max(fails.sum(), 1))
+        assert np.mean(inner) > 0.6
+
+    def test_edge_ring_fails_concentrated_at_rim(self, rng):
+        r, __ = polar_coordinates(self.SIZE)
+        outer = []
+        for grid in self.batch("Edge-Ring", rng):
+            fails = grid == FAIL
+            outer.append((fails & (r > 0.75)).sum() / max(fails.sum(), 1))
+        assert np.mean(outer) > 0.7
+
+    def test_edge_loc_is_angularly_localized(self, rng):
+        """Edge-Loc failures span a narrow arc; Edge-Ring spans all angles."""
+        __, theta = polar_coordinates(self.SIZE)
+        spans = []
+        for grid in self.batch("Edge-Loc", rng):
+            angles = theta[(grid == FAIL)]
+            if angles.size < 5:
+                continue
+            # Use circular std via resultant length.
+            resultant = np.abs(np.exp(1j * angles).mean())
+            spans.append(resultant)
+        # High resultant = concentrated directionally.
+        assert np.mean(spans) > 0.35
+
+    def test_donut_center_is_clean(self, rng):
+        r, __ = polar_coordinates(self.SIZE)
+        core_rates = []
+        for grid in self.batch("Donut", rng):
+            core = (r < 0.15) & (grid != OFF)
+            core_rates.append((grid[core] == FAIL).mean())
+        assert np.mean(core_rates) < 0.2
+
+    def test_scratch_is_sparse_but_present(self, rng):
+        rates = [failure_rate(g) for g in self.batch("Scratch", rng)]
+        assert 0.005 < np.mean(rates) < 0.15
+
+    def test_location_blob_not_at_center_or_rim(self, rng):
+        r, __ = polar_coordinates(self.SIZE)
+        centroids = []
+        for grid in self.batch("Location", rng):
+            fails = grid == FAIL
+            if fails.sum() < 3:
+                continue
+            centroids.append(r[fails].mean())
+        assert 0.15 < np.mean(centroids) < 0.75
+
+    def test_draws_vary(self, rng):
+        """Two draws from the same generator should differ."""
+        generator = make_generator("Center", size=self.SIZE)
+        a = generator.sample(rng)
+        b = generator.sample(rng)
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_reproducible(self):
+        generator = make_generator("Donut", size=16)
+        a = generator.sample(np.random.default_rng(42))
+        b = generator.sample(np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMixedPattern:
+    def make(self, size=24):
+        return MixedPattern(
+            size=size,
+            components=(CenterPattern(size=size), EdgeRingPattern(size=size)),
+        )
+
+    def test_requires_two_components(self):
+        with pytest.raises(ValueError):
+            MixedPattern(size=16, components=(CenterPattern(size=16),))
+
+    def test_component_sizes_must_match(self):
+        with pytest.raises(ValueError):
+            MixedPattern(
+                size=16,
+                components=(CenterPattern(size=16), DonutPattern(size=32)),
+            )
+
+    def test_field_is_superposition(self, rng):
+        mixed = self.make()
+        field = mixed.failure_field(np.random.default_rng(0))
+        assert field.shape == (24, 24)
+        assert field.max() <= 1.0
+
+    def test_sample_contains_both_signatures(self, rng):
+        mixed = self.make(size=32)
+        r, __ = polar_coordinates(32)
+        counts_center = 0
+        counts_rim = 0
+        for _ in range(10):
+            grid = mixed.sample(rng)
+            fails = grid == FAIL
+            counts_center += int((fails & (r < 0.4)).sum())
+            counts_rim += int((fails & (r > 0.8)).sum())
+        assert counts_center > 20
+        assert counts_rim > 20
+
+    def test_component_names(self):
+        assert self.make().component_names() == ("Center", "Edge-Ring")
+
+
+@given(st.sampled_from(CLASS_NAMES), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_property_every_sample_is_valid(name, seed):
+    """Property: any class, any seed -> a valid 3-level wafer grid."""
+    grid = make_generator(name, size=16).sample(np.random.default_rng(seed))
+    assert grid.shape == (16, 16)
+    assert set(np.unique(grid)) <= {OFF, PASS, FAIL}
+    assert (grid == OFF).sum() > 0  # corners are always off-wafer

@@ -1,0 +1,275 @@
+"""Tests for wafer-map representation and raster ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import wafer
+from repro.data.wafer import (
+    FAIL,
+    OFF,
+    PASS,
+    add_salt_pepper,
+    disk_mask,
+    failure_rate,
+    grid_to_pixels,
+    grid_to_tensor,
+    pixels_to_grid,
+    quantize_to_levels,
+    render_ascii,
+    resize_grid,
+    rotate_grid,
+    tensor_to_grid,
+)
+
+
+def sample_grid(size=16, seed=0, fail_prob=0.2):
+    rng = np.random.default_rng(seed)
+    mask = disk_mask(size)
+    grid = np.where(rng.random((size, size)) < fail_prob, FAIL, PASS).astype(np.uint8)
+    grid[~mask] = OFF
+    return grid
+
+
+class TestDiskMask:
+    def test_center_on_wafer_corner_off(self):
+        mask = disk_mask(16)
+        assert mask[8, 8]
+        assert not mask[0, 0]
+
+    def test_symmetric(self):
+        mask = disk_mask(17)
+        np.testing.assert_array_equal(mask, mask[::-1, :])
+        np.testing.assert_array_equal(mask, mask[:, ::-1])
+
+    def test_margin_shrinks_disk(self):
+        assert disk_mask(32, margin=0.3).sum() < disk_mask(32, margin=0.0).sum()
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            disk_mask(2)
+
+
+class TestEncodings:
+    def test_pixel_levels_match_paper(self):
+        grid = np.array([[OFF, PASS, FAIL]], dtype=np.uint8)
+        np.testing.assert_array_equal(grid_to_pixels(grid), [[0, 127, 255]])
+
+    def test_pixels_roundtrip(self):
+        grid = sample_grid()
+        np.testing.assert_array_equal(pixels_to_grid(grid_to_pixels(grid)), grid)
+
+    def test_pixels_snap_to_nearest_level(self):
+        noisy = np.array([[10, 120, 250]], dtype=np.float32)
+        np.testing.assert_array_equal(pixels_to_grid(noisy), [[OFF, PASS, FAIL]])
+
+    def test_tensor_shape_and_range(self):
+        tensor = grid_to_tensor(sample_grid())
+        assert tensor.shape == (1, 16, 16)
+        assert tensor.min() >= 0.0 and tensor.max() <= 1.0
+
+    def test_tensor_roundtrip(self):
+        grid = sample_grid()
+        np.testing.assert_array_equal(tensor_to_grid(grid_to_tensor(grid)), grid)
+
+    def test_tensor_to_grid_accepts_2d(self):
+        grid = sample_grid()
+        np.testing.assert_array_equal(tensor_to_grid(grid_to_tensor(grid)[0]), grid)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            grid_to_pixels(np.zeros((2, 2, 2), dtype=np.uint8))
+
+    def test_rejects_float_grid(self):
+        with pytest.raises(ValueError):
+            grid_to_pixels(np.zeros((4, 4), dtype=np.float32))
+
+
+class TestQuantize:
+    def test_continuous_image_becomes_three_level(self):
+        image = np.linspace(0, 1, 64, dtype=np.float32).reshape(8, 8)
+        grid = quantize_to_levels(image)
+        assert set(np.unique(grid)) <= {OFF, PASS, FAIL}
+
+    def test_mask_forces_silhouette(self):
+        mask = disk_mask(8)
+        image = np.full((8, 8), 0.9, dtype=np.float32)
+        grid = quantize_to_levels(image, mask=mask)
+        assert np.all(grid[~mask] == OFF)
+        assert np.all(grid[mask] == FAIL)
+
+    def test_masked_low_values_become_pass_not_off(self):
+        mask = disk_mask(8)
+        image = np.zeros((8, 8), dtype=np.float32)
+        grid = quantize_to_levels(image, mask=mask)
+        assert np.all(grid[mask] == PASS)
+
+    def test_count_matched_exact(self):
+        mask = disk_mask(8)
+        rng = np.random.default_rng(0)
+        image = rng.random((8, 8)).astype(np.float32)
+        grid = quantize_to_levels(image, mask=mask, fail_count=5)
+        assert int((grid == FAIL).sum()) == 5
+
+    def test_count_matched_picks_highest_intensity(self):
+        mask = disk_mask(8)
+        image = np.zeros((8, 8), dtype=np.float32)
+        image[4, 4] = 1.0
+        grid = quantize_to_levels(image, mask=mask, fail_count=1)
+        assert grid[4, 4] == FAIL
+
+    def test_count_clipped_to_wafer_size(self):
+        mask = disk_mask(8)
+        image = np.zeros((8, 8), dtype=np.float32)
+        grid = quantize_to_levels(image, mask=mask, fail_count=10_000)
+        assert int((grid == FAIL).sum()) == int(mask.sum())
+
+    def test_count_without_mask_raises(self):
+        with pytest.raises(ValueError):
+            quantize_to_levels(np.zeros((8, 8), dtype=np.float32), fail_count=3)
+
+
+class TestRotate:
+    def test_zero_rotation_identity(self):
+        grid = sample_grid()
+        np.testing.assert_array_equal(rotate_grid(grid, 0.0), grid)
+
+    def test_360_rotation_identity(self):
+        grid = sample_grid()
+        np.testing.assert_array_equal(rotate_grid(grid, 360.0), grid)
+
+    def test_preserves_wafer_silhouette(self):
+        grid = sample_grid()
+        rotated = rotate_grid(grid, 37.0)
+        np.testing.assert_array_equal(rotated == OFF, grid == OFF)
+
+    def test_output_is_valid_grid(self):
+        rotated = rotate_grid(sample_grid(), 45.0)
+        assert set(np.unique(rotated)) <= {OFF, PASS, FAIL}
+
+    def test_90_degrees_moves_blob(self):
+        size = 17
+        mask = disk_mask(size)
+        grid = np.where(mask, PASS, OFF).astype(np.uint8)
+        grid[8, 13] = FAIL  # blob to the right of center
+        rotated = rotate_grid(grid, 90.0)
+        # After rotation the single FAIL die must have moved.
+        assert rotated[8, 13] != FAIL
+        assert int((rotated == FAIL).sum()) == 1
+
+    def test_approximately_preserves_failure_count(self):
+        grid = sample_grid(size=32, fail_prob=0.3)
+        rotated = rotate_grid(grid, 45.0)
+        original = int((grid == FAIL).sum())
+        kept = int((rotated == FAIL).sum())
+        assert abs(kept - original) / original < 0.35
+
+
+class TestSaltPepper:
+    def test_flips_expected_fraction(self):
+        grid = sample_grid(size=32)
+        noisy = add_salt_pepper(grid, 0.1, np.random.default_rng(0))
+        on_wafer = grid != OFF
+        flipped = int((noisy[on_wafer] != grid[on_wafer]).sum())
+        assert flipped == int(round(0.1 * on_wafer.sum()))
+
+    def test_zero_fraction_identity(self):
+        grid = sample_grid()
+        np.testing.assert_array_equal(add_salt_pepper(grid, 0.0, np.random.default_rng(0)), grid)
+
+    def test_never_touches_off_wafer(self):
+        grid = sample_grid()
+        noisy = add_salt_pepper(grid, 0.5, np.random.default_rng(1))
+        np.testing.assert_array_equal(noisy == OFF, grid == OFF)
+
+    def test_flip_is_pass_fail_swap(self):
+        grid = sample_grid()
+        noisy = add_salt_pepper(grid, 0.2, np.random.default_rng(2))
+        changed = noisy != grid
+        assert np.all(
+            (grid[changed] == PASS) & (noisy[changed] == FAIL)
+            | (grid[changed] == FAIL) & (noisy[changed] == PASS)
+        )
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            add_salt_pepper(sample_grid(), 1.5, np.random.default_rng(0))
+
+    def test_does_not_mutate_input(self):
+        grid = sample_grid()
+        copy = grid.copy()
+        add_salt_pepper(grid, 0.3, np.random.default_rng(3))
+        np.testing.assert_array_equal(grid, copy)
+
+
+class TestResize:
+    def test_same_size_identity(self):
+        grid = sample_grid()
+        np.testing.assert_array_equal(resize_grid(grid, 16), grid)
+
+    def test_upscale_preserves_alphabet(self):
+        up = resize_grid(sample_grid(), 33)
+        assert up.shape == (33, 33)
+        assert set(np.unique(up)) <= {OFF, PASS, FAIL}
+
+    def test_downscale(self):
+        assert resize_grid(sample_grid(32), 8).shape == (8, 8)
+
+
+class TestFailureRate:
+    def test_all_pass_zero(self):
+        mask = disk_mask(8)
+        grid = np.where(mask, PASS, OFF).astype(np.uint8)
+        assert failure_rate(grid) == 0.0
+
+    def test_all_fail_one(self):
+        mask = disk_mask(8)
+        grid = np.where(mask, FAIL, OFF).astype(np.uint8)
+        assert failure_rate(grid) == 1.0
+
+    def test_empty_grid_zero(self):
+        assert failure_rate(np.zeros((8, 8), dtype=np.uint8)) == 0.0
+
+
+class TestAscii:
+    def test_characters(self):
+        grid = np.array([[OFF, PASS], [FAIL, PASS]], dtype=np.uint8)
+        assert render_ascii(grid) == ".o\n#o"
+
+
+@given(st.integers(8, 48), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_property_grid_tensor_roundtrip(size, seed):
+    """Property: grid -> tensor -> grid is lossless for any wafer."""
+    grid = sample_grid(size=size, seed=seed)
+    np.testing.assert_array_equal(tensor_to_grid(grid_to_tensor(grid)), grid)
+
+
+@given(
+    st.integers(8, 32),
+    st.floats(0.0, 1.0),
+    st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_salt_pepper_flip_count(size, fraction, seed):
+    """Property: s&p flips exactly round(fraction * on_wafer) dies."""
+    grid = sample_grid(size=size, seed=seed)
+    noisy = add_salt_pepper(grid, fraction, np.random.default_rng(seed))
+    on_wafer = grid != OFF
+    flipped = int((noisy[on_wafer] != grid[on_wafer]).sum())
+    assert flipped == int(round(fraction * on_wafer.sum()))
+
+
+@given(st.sampled_from([0.0, 90.0, 180.0, 270.0]), st.integers(0, 500))
+@settings(max_examples=30, deadline=None)
+def test_property_right_angle_rotation_preserves_fail_count(angle, seed):
+    """Property: right-angle rotations keep the failure count exactly.
+
+    (Arbitrary angles resample and may gain/lose a few dies; multiples
+    of 90 degrees permute the square grid, and the circular wafer mask
+    is invariant under them.)
+    """
+    grid = sample_grid(size=21, seed=seed)
+    rotated = rotate_grid(grid, angle)
+    assert int((rotated == FAIL).sum()) == int((grid == FAIL).sum())

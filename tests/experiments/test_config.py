@@ -1,0 +1,80 @@
+"""Tests for experiment configuration and presets."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PRESETS, ExperimentConfig, get_preset
+
+
+class TestPresets:
+    def test_known_presets_exist(self):
+        assert {"smoke", "default", "large", "paper"} <= set(PRESETS)
+
+    def test_get_preset_by_name(self):
+        assert get_preset("smoke").name == "smoke"
+
+    def test_get_preset_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_preset("gigantic")
+
+    def test_overrides_applied(self):
+        config = get_preset("smoke", seed=42, epochs=2)
+        assert config.seed == 42
+        assert config.epochs == 2
+
+    def test_overrides_do_not_mutate_registry(self):
+        get_preset("smoke", seed=42)
+        assert PRESETS["smoke"].seed == 0
+
+    def test_paper_preset_matches_publication(self):
+        paper = get_preset("paper")
+        assert paper.map_size == 256
+        assert paper.dataset_scale == 1.0
+        assert paper.epochs == 100
+        assert paper.conv_channels == (64, 32, 32)
+        assert paper.fc_units == 256
+        assert paper.augment_target == 8000
+
+
+class TestConfigMethods:
+    def test_backbone_matches_map_size(self):
+        config = get_preset("smoke")
+        backbone = config.backbone()
+        assert backbone.input_size == config.map_size
+
+    def test_train_config_carries_paper_hyperparameters(self):
+        config = get_preset("default")
+        train = config.train_config(0.5)
+        assert train.target_coverage == 0.5
+        assert train.lam == 0.5   # paper Sec. IV-C
+        assert train.alpha == 0.5
+
+    def test_train_config_overrides(self):
+        config = get_preset("smoke")
+        train = config.train_config(0.5, epochs=1)
+        assert train.epochs == 1
+
+    def test_class_counts_scaled_with_minimum(self):
+        config = get_preset("smoke")
+        counts = config.class_counts()
+        assert all(count >= 5 for count in counts.values())
+        assert counts["None"] > counts["Near-Full"]
+
+    def test_make_data_splits(self):
+        config = get_preset("smoke")
+        data = config.make_data()
+        total = len(data.train) + len(data.validation) + len(data.test)
+        assert total == sum(config.class_counts().values())
+        assert len(data.train) > len(data.test) > 0
+
+    def test_make_data_deterministic(self):
+        config = get_preset("smoke")
+        a = config.make_data()
+        b = config.make_data()
+        np.testing.assert_array_equal(a.train.grids, b.train.grids)
+
+    def test_make_data_seed_offset_changes_data(self):
+        config = get_preset("smoke")
+        a = config.make_data()
+        b = config.make_data(seed_offset=1)
+        assert not np.array_equal(a.train.grids, b.train.grids)

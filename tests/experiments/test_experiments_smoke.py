@@ -1,0 +1,209 @@
+"""End-to-end smoke tests for every paper artifact reproduction.
+
+These run the real experiment code at a micro scale: the goal is
+validating plumbing and result structure, not accuracy (the benchmark
+suite covers result quality at the default preset).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    get_preset,
+    run_concept_shift,
+    run_fig1,
+    run_fig4,
+    run_fig5,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.experiments.concept_shift import make_shifted_dataset
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+@pytest.fixture(scope="module")
+def micro_config():
+    return get_preset(
+        "smoke",
+        dataset_scale=0.002,
+        epochs=2,
+        augment_target=10,
+        ae_epochs=2,
+        svm_max_iterations=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_data(micro_config):
+    return micro_config.make_data()
+
+
+class TestFig1:
+    def test_one_sample_per_class(self):
+        result = run_fig1(size=16, seed=0)
+        assert len(result.samples) == 9
+        for grid in result.samples.values():
+            assert grid.shape == (16, 16)
+
+    def test_report_contains_class_names(self):
+        text = run_fig1(size=16, seed=0).format_report()
+        assert "Edge-Ring" in text and "Near-Full" in text
+
+    def test_pixel_images_use_paper_levels(self):
+        images = run_fig1(size=16, seed=0).pixel_images()
+        for image in images.values():
+            assert set(np.unique(image)) <= {0, 127, 255}
+
+
+class TestTable2:
+    def test_structure(self, micro_config, micro_data):
+        result = run_table2(
+            micro_config, coverages=(0.5,), data=micro_data, use_augmentation=False
+        )
+        assert 0.5 in result.per_coverage
+        evaluation = result.per_coverage[0.5]
+        assert set(evaluation.class_reports) == set(micro_data.test.class_names)
+        assert 0.0 <= evaluation.overall_coverage <= 1.0
+        assert "c0=0.5" in result.format_report()
+
+    def test_augmented_counts_reported(self, micro_config, micro_data):
+        result = run_table2(
+            micro_config, coverages=(0.5,), data=micro_data, use_augmentation=True
+        )
+        assert sum(result.augmented_counts.values()) >= sum(result.train_counts.values())
+
+
+class TestTable3:
+    def test_structure(self, micro_config, micro_data):
+        result = run_table3(micro_config, data=micro_data, use_augmentation=False)
+        n = micro_data.test.num_classes
+        assert result.cnn_confusion.shape == (n, n)
+        assert result.svm_confusion.shape == (n, n)
+        assert result.cnn_confusion.sum() == len(micro_data.test)
+        assert 0.0 <= result.cnn_accuracy <= 1.0
+        assert "SVM baseline" in result.format_report()
+
+
+class TestTable4:
+    def test_held_out_original_recall_zero(self, micro_config, micro_data):
+        result = run_table4(
+            micro_config, data=micro_data, held_out="Near-Full", use_augmentation=False
+        )
+        assert result.rows["Near-Full"].original_recall == 0.0
+        assert result.held_out == "Near-Full"
+        assert "held out" in result.format_report()
+
+    def test_unknown_class_raises(self, micro_config, micro_data):
+        with pytest.raises(ValueError):
+            run_table4(micro_config, data=micro_data, held_out="Swirl")
+
+    def test_held_out_samples_counted_in_test(self, micro_config, micro_data):
+        result = run_table4(
+            micro_config, data=micro_data, held_out="Donut", use_augmentation=False
+        )
+        donut_total = (
+            micro_data.test.class_counts()["Donut"]
+            + micro_data.train.class_counts()["Donut"]
+        )
+        assert result.rows["Donut"].support == donut_total
+
+
+class TestFig4:
+    def test_pairs_for_each_defect_class(self, micro_config, micro_data):
+        result = run_fig4(micro_config, data=micro_data, classes=("Donut", "Scratch"))
+        assert [s.class_name for s in result.samples] == ["Donut", "Scratch"]
+        for sample in result.samples:
+            assert sample.synthetic_count > 0
+            assert sample.original.shape == sample.synthetic.shape
+
+    def test_report_renders(self, micro_config, micro_data):
+        result = run_fig4(micro_config, data=micro_data, classes=("Donut",))
+        assert "Donut" in result.format_report(ascii_art=True)
+
+
+class TestFig5:
+    def test_sweep_points(self, micro_config, micro_data):
+        result = run_fig5(
+            micro_config, coverages=(0.5, 1.0), data=micro_data, use_augmentation=False
+        )
+        assert [p.target_coverage for p in result.points] == [0.5, 1.0]
+        full = result.points[-1]
+        assert full.realized_coverage == 1.0
+        assert "Fig. 5" in result.format_report()
+
+
+class TestConceptShift:
+    def test_shifted_dataset_structure(self):
+        shifted = make_shifted_dataset({"Center": 3, "None": 4}, size=16, seed=0)
+        assert len(shifted) == 7
+        assert shifted.class_counts()["Center"] == 3
+
+    def test_result_structure(self, micro_config, micro_data):
+        result = run_concept_shift(micro_config, data=micro_data, use_augmentation=False)
+        assert 0.0 <= result.shifted_coverage <= 1.0
+        assert "shifted" in result.format_report()
+        assert isinstance(result.shift_flagged(), bool)
+
+
+class TestRunner:
+    def test_experiment_registry_covers_all_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "table2", "table3", "table4", "fig4", "fig5",
+            "concept_shift", "data_discrepancy", "novel_defects",
+        }
+
+    def test_cli_runs_fig1(self, capsys):
+        exit_code = main(["--experiment", "fig1", "--preset", "smoke"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "Edge-Ring" in out
+
+
+class TestDataDiscrepancy:
+    def test_structure(self, micro_config):
+        from repro.experiments.data_discrepancy import run_data_discrepancy
+
+        result = run_data_discrepancy(micro_config, use_augmentation=False)
+        names = [r.name for r in result.reports]
+        assert names == [
+            "train (70%)", "validation (10%)", "test (20%)", "incoherent test",
+        ]
+        for report in result.reports:
+            assert 0.0 <= report.realized_coverage <= 1.0
+            assert report.samples > 0
+        assert "incoherent" in result.format_report()
+
+    def test_report_by_name(self, micro_config):
+        from repro.experiments.data_discrepancy import run_data_discrepancy
+
+        result = run_data_discrepancy(micro_config, use_augmentation=False)
+        assert result.report_by_name("test (20%)").samples > 0
+        import pytest as _pytest
+        with _pytest.raises(KeyError):
+            result.report_by_name("bogus")
+
+
+class TestFig5Plot:
+    def test_ascii_plot_renders(self, micro_config, micro_data):
+        result = run_fig5(
+            micro_config, coverages=(0.5, 1.0), data=micro_data, use_augmentation=False
+        )
+        chart = result.plot()
+        assert "selective accuracy" in chart
+        assert "c0" in chart
+
+
+class TestNovelDefects:
+    def test_structure(self, micro_config, micro_data):
+        from repro.experiments.novel_defects import run_novel_defects
+
+        result = run_novel_defects(
+            micro_config, data=micro_data, novel_per_pattern=3,
+            use_augmentation=False,
+        )
+        assert set(result.per_pattern_coverage) == {
+            "Grid", "Half-Moon", "Checkerboard",
+        }
+        assert 0.0 <= result.novel_coverage <= 1.0
+        assert "novel" in result.format_report()

@@ -1,0 +1,71 @@
+"""Tests for regional density features."""
+
+import numpy as np
+import pytest
+
+from repro.data.wafer import FAIL, OFF, PASS, disk_mask
+from repro.features.density import density_features, ring_densities, zone_densities
+
+
+def uniform_wafer(size=24, state=PASS):
+    mask = disk_mask(size)
+    return np.where(mask, state, OFF).astype(np.uint8)
+
+
+class TestZoneDensities:
+    def test_shape(self):
+        assert zone_densities(uniform_wafer(), 3).shape == (9,)
+        assert zone_densities(uniform_wafer(), 4).shape == (16,)
+
+    def test_all_pass_gives_zeros(self):
+        np.testing.assert_allclose(zone_densities(uniform_wafer()), 0.0)
+
+    def test_all_fail_gives_ones_in_occupied_zones(self):
+        densities = zone_densities(uniform_wafer(state=FAIL))
+        assert densities.max() == pytest.approx(1.0)
+        # The central zone is fully on-wafer, so exactly 1.0.
+        assert densities[4] == pytest.approx(1.0)
+
+    def test_localized_blob_hits_one_zone(self):
+        grid = uniform_wafer(24)
+        grid[2:7, 10:14] = FAIL  # top-middle zone
+        densities = zone_densities(grid, 3)
+        assert densities.argmax() == 1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            zone_densities(np.zeros((2, 2, 2), dtype=np.uint8))
+
+
+class TestRingDensities:
+    def test_shape(self):
+        assert ring_densities(uniform_wafer(), 4).shape == (4,)
+
+    def test_center_blob_in_inner_ring(self):
+        grid = uniform_wafer(24)
+        grid[11:13, 11:13] = FAIL
+        densities = ring_densities(grid, 4)
+        assert densities[0] > 0
+        assert densities[3] == pytest.approx(0.0)
+
+    def test_edge_ring_in_outer_ring(self):
+        mask = disk_mask(24)
+        yy, xx = np.mgrid[0:24, 0:24]
+        r = np.sqrt((yy - 11.5) ** 2 + (xx - 11.5) ** 2) / 12.0
+        grid = np.where(mask, PASS, OFF).astype(np.uint8)
+        grid[(r > 0.85) & mask] = FAIL
+        densities = ring_densities(grid, 4)
+        assert densities.argmax() == 3
+
+
+class TestCombined:
+    def test_dimension_is_13(self):
+        assert density_features(uniform_wafer()).shape == (13,)
+
+    def test_values_are_probabilities(self):
+        rng = np.random.default_rng(0)
+        grid = uniform_wafer(24)
+        fails = rng.random(grid.shape) < 0.3
+        grid[fails & (grid != OFF)] = FAIL
+        features = density_features(grid)
+        assert np.all(features >= 0.0) and np.all(features <= 1.0)

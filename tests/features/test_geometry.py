@@ -1,0 +1,108 @@
+"""Tests for geometry (region-props) features."""
+
+import numpy as np
+import pytest
+
+from repro.data.wafer import FAIL, OFF, PASS, disk_mask
+from repro.features.geometry import (
+    geometry_features,
+    largest_failure_region,
+    region_properties,
+)
+
+
+def empty_wafer(size=16):
+    mask = disk_mask(size)
+    return np.where(mask, PASS, OFF).astype(np.uint8)
+
+
+class TestLargestRegion:
+    def test_no_failures_gives_empty_mask(self):
+        assert not largest_failure_region(empty_wafer()).any()
+
+    def test_picks_biggest_component(self):
+        grid = empty_wafer(20)
+        grid[3:5, 8:10] = FAIL          # 4 dies
+        grid[10:14, 8:12] = FAIL        # 16 dies
+        region = largest_failure_region(grid)
+        assert region.sum() == 16
+        assert region[11, 9]
+        assert not region[3, 8]
+
+    def test_diagonal_connectivity(self):
+        """8-connectivity joins diagonal neighbours into one region."""
+        grid = empty_wafer(16)
+        grid[7, 7] = FAIL
+        grid[8, 8] = FAIL
+        assert largest_failure_region(grid).sum() == 2
+
+
+class TestRegionProperties:
+    def test_empty_mask_all_zero(self):
+        props = region_properties(np.zeros((8, 8), dtype=bool))
+        assert props.area == 0
+        assert props.eccentricity == 0
+
+    def test_square_region(self):
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[4:8, 4:8] = True
+        props = region_properties(mask)
+        assert props.area == 16
+        assert props.extent == pytest.approx(1.0)
+        # A square has near-equal axes -> low eccentricity.
+        assert props.eccentricity < 0.3
+
+    def test_line_region_is_eccentric(self):
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[8, 2:14] = True
+        props = region_properties(mask)
+        assert props.eccentricity > 0.95
+        assert props.major_axis > 3 * props.minor_axis
+
+    def test_centroid_radius_zero_at_center(self):
+        mask = np.zeros((17, 17), dtype=bool)
+        mask[7:10, 7:10] = True
+        props = region_properties(mask)
+        assert props.centroid_radius == pytest.approx(0.0, abs=0.05)
+
+    def test_perimeter_of_single_pixel(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[4, 4] = True
+        assert region_properties(mask).perimeter == 4
+
+
+class TestGeometryFeatures:
+    def test_dimension(self):
+        assert geometry_features(empty_wafer()).shape == (8,)
+
+    def test_finite_on_empty_wafer(self):
+        features = geometry_features(empty_wafer())
+        assert np.all(np.isfinite(features))
+
+    def test_scratch_vs_blob_eccentricity(self):
+        blob = empty_wafer(24)
+        blob[10:14, 10:14] = FAIL
+        scratch = empty_wafer(24)
+        scratch[12, 4:20] = FAIL
+        # Eccentricity is feature index 4.
+        assert geometry_features(scratch)[4] > geometry_features(blob)[4]
+
+    def test_center_vs_edge_centroid_radius(self):
+        center = empty_wafer(24)
+        center[10:14, 10:14] = FAIL
+        edge = empty_wafer(24)
+        edge[11:13, 20:22] = FAIL
+        # Centroid radius is feature index 6.
+        assert geometry_features(edge)[6] > geometry_features(center)[6]
+
+    def test_resolution_normalization(self):
+        """The same relative pattern at 2x resolution gives similar
+        normalized area/axis features."""
+        small = empty_wafer(16)
+        small[6:10, 6:10] = FAIL
+        big = empty_wafer(32)
+        big[12:20, 12:20] = FAIL
+        f_small = geometry_features(small)
+        f_big = geometry_features(big)
+        np.testing.assert_allclose(f_small[0], f_big[0], rtol=0.3)  # area
+        np.testing.assert_allclose(f_small[2], f_big[2], rtol=0.3)  # major axis

@@ -1,0 +1,51 @@
+"""Tests for the combined feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.features.pipeline import FEATURE_DIM, extract_dataset_features, extract_features
+
+
+class TestExtractFeatures:
+    def test_dimension_matches_constant(self):
+        grid = generate_dataset({"Center": 1}, size=16, seed=0).grids[0]
+        assert extract_features(grid).shape == (FEATURE_DIM,)
+
+    def test_all_finite_across_classes(self, tiny_dataset):
+        for grid in tiny_dataset.grids[:20]:
+            assert np.all(np.isfinite(extract_features(grid)))
+
+    def test_global_failure_rate_is_last(self):
+        dataset = generate_dataset({"Near-Full": 1, "None": 1}, size=16, seed=0)
+        near_full = dataset.grids[dataset.labels == dataset.class_names.index("Near-Full")][0]
+        none = dataset.grids[dataset.labels == dataset.class_names.index("None")][0]
+        assert extract_features(near_full)[-1] > extract_features(none)[-1]
+
+    def test_classes_are_separable_in_feature_space(self):
+        """Nearest-centroid in feature space beats chance by a wide margin."""
+        counts = {"Center": 10, "Edge-Ring": 10, "Near-Full": 10, "None": 10}
+        dataset = generate_dataset(counts, size=24, seed=0)
+        features = extract_dataset_features(dataset)
+        # Standardize per-dimension to make distances comparable.
+        mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0] = 1
+        features = (features - mean) / std
+        used = sorted(set(dataset.labels.tolist()))
+        centroids = {c: features[dataset.labels == c].mean(axis=0) for c in used}
+        correct = 0
+        for x, y in zip(features, dataset.labels):
+            nearest = min(centroids, key=lambda c: np.linalg.norm(x - centroids[c]))
+            correct += int(nearest == y)
+        assert correct / len(dataset) > 0.8
+
+
+class TestDatasetFeatures:
+    def test_matrix_shape(self, tiny_dataset):
+        subset = tiny_dataset.subset(range(5))
+        assert extract_dataset_features(subset).shape == (5, FEATURE_DIM)
+
+    def test_empty_dataset(self, tiny_dataset):
+        empty = tiny_dataset.subset([])
+        assert extract_dataset_features(empty).shape[0] == 0

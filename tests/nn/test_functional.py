@@ -1,0 +1,190 @@
+"""Tests for conv/pool/upsample functional ops."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def rand_tensor(shape, rng, requires_grad=False, scale=1.0):
+    return Tensor((rng.normal(size=shape) * scale).astype(np.float32), requires_grad=requires_grad)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = F.im2col(x, (3, 3), (1, 1), (0, 0))
+        assert cols.shape == (2 * 6 * 6, 3 * 9)
+
+    def test_identity_kernel_content(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols = F.im2col(x, (1, 1), (1, 1), (0, 0))
+        np.testing.assert_allclose(cols.reshape(4, 4), x[0, 0])
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint identity."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        kernel, stride, padding = (3, 3), (2, 2), (1, 1)
+        cols = F.im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im(y, x.shape, kernel, stride, padding)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_output_size_formula(self):
+        assert F.conv_output_size(32, 5, 1, 2) == 32
+        assert F.conv_output_size(32, 2, 2, 0) == 16
+        assert F.conv_output_size(7, 3, 2, 0) == 3
+
+
+class TestConv2D:
+    def test_matches_direct_convolution(self, rng):
+        """im2col conv equals a naive nested-loop cross-correlation."""
+        x = rand_tensor((1, 2, 5, 5), rng)
+        w = rand_tensor((3, 2, 3, 3), rng)
+        out = F.conv2d(x, w).data
+        expected = np.zeros((1, 3, 3, 3), dtype=np.float64)
+        for co in range(3):
+            for i in range(3):
+                for j in range(3):
+                    expected[0, co, i, j] = (
+                        x.data[0, :, i:i + 3, j:j + 3] * w.data[co]
+                    ).sum()
+        np.testing.assert_allclose(out, expected, rtol=1e-4)
+
+    def test_bias_adds_per_channel(self, rng):
+        x = rand_tensor((1, 1, 3, 3), rng)
+        w = Tensor(np.zeros((2, 1, 3, 3), dtype=np.float32))
+        b = Tensor(np.array([1.0, -2.0], dtype=np.float32))
+        out = F.conv2d(x, w, b).data
+        np.testing.assert_allclose(out[0, 0], 1.0)
+        np.testing.assert_allclose(out[0, 1], -2.0)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(rand_tensor((1, 3, 4, 4), rng), rand_tensor((2, 4, 3, 3), rng))
+
+    def test_stride_and_padding_shapes(self, rng):
+        x = rand_tensor((2, 1, 9, 9), rng)
+        w = rand_tensor((4, 1, 3, 3), rng)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 4, 5, 5)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (1, 2)])
+    def test_gradients_match_numeric(self, rng, numgrad, stride, padding):
+        x_data = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        w_data = (rng.normal(size=(3, 2, 3, 3)) * 0.2).astype(np.float32)
+        b_data = (rng.normal(size=(3,)) * 0.2).astype(np.float32)
+
+        def value():
+            out = F.conv2d(Tensor(x_data), Tensor(w_data), Tensor(b_data), stride, padding)
+            return float((out.data.astype(np.float64) ** 2).sum())
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        out = F.conv2d(x, w, b, stride, padding)
+        (out * out).sum().backward()
+        for tensor, data in [(x, x_data), (w, w_data), (b, b_data)]:
+            numeric = numgrad(value, data)
+            scale = np.abs(numeric).max() + 1e-8
+            assert np.abs(numeric - tensor.grad).max() / scale < 5e-3
+
+
+class TestConvTranspose2D:
+    def test_output_shape(self, rng):
+        x = rand_tensor((1, 4, 3, 3), rng)
+        w = rand_tensor((4, 2, 3, 3), rng)
+        assert F.conv_transpose2d(x, w, stride=2, padding=1).shape == (1, 2, 5, 5)
+
+    def test_adjoint_of_conv(self, rng):
+        """conv_transpose with the same geometry is conv's adjoint.
+
+        Uses a 5x5 input so the strided geometry round-trips exactly
+        ((5+2-3)/2+1 = 3 and (3-1)*2-2+3 = 5).
+        """
+        x = rand_tensor((1, 2, 5, 5), rng)
+        w = rand_tensor((3, 2, 3, 3), rng)  # conv weight (out, in, kh, kw)
+        y = F.conv2d(x, w, stride=2, padding=1)
+        cotangent = rand_tensor(y.shape, rng)
+        # <conv(x), u> == <x, convT(u)> with the same weight viewed
+        # transposed: convT weight layout is (in=3, out=2, kh, kw).
+        w_t = Tensor(w.data)
+        back = F.conv_transpose2d(cotangent, w_t, stride=2, padding=1)
+        lhs = float((y.data * cotangent.data).sum())
+        rhs = float((x.data * back.data).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+    def test_gradients_match_numeric(self, rng, numgrad):
+        x_data = rng.normal(size=(1, 3, 4, 4)).astype(np.float32)
+        w_data = (rng.normal(size=(3, 2, 3, 3)) * 0.2).astype(np.float32)
+
+        def value():
+            out = F.conv_transpose2d(Tensor(x_data), Tensor(w_data), stride=2)
+            return float((out.data.astype(np.float64) ** 2).sum())
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        out = F.conv_transpose2d(x, w, stride=2)
+        (out * out).sum().backward()
+        for tensor, data in [(x, x_data), (w, w_data)]:
+            numeric = numgrad(value, data)
+            scale = np.abs(numeric).max() + 1e-8
+            assert np.abs(numeric - tensor.grad).max() / scale < 5e-3
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_truncates_odd_sizes(self, rng):
+        x = rand_tensor((1, 1, 5, 5), rng)
+        assert F.max_pool2d(x, 2).shape == (1, 1, 2, 2)
+
+    def test_max_pool_gradient_goes_to_max(self):
+        x = Tensor(
+            np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32), requires_grad=True
+        )
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], [[0, 0], [0, 1]])
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradient_uniform(self, rng):
+        x = rand_tensor((1, 1, 4, 4), rng, requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+
+class TestUpsample:
+    def test_nearest_values(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32))
+        out = F.upsample2d(x, 2)
+        np.testing.assert_allclose(
+            out.data[0, 0],
+            [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]],
+        )
+
+    def test_gradient_sums_window(self, rng):
+        x = rand_tensor((1, 1, 2, 2), rng, requires_grad=True)
+        F.upsample2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 4.0))
+
+    def test_scale_one_is_identity(self, rng):
+        x = rand_tensor((1, 2, 3, 3), rng)
+        np.testing.assert_array_equal(F.upsample2d(x, 1).data, x.data)
+
+    def test_invalid_scale_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.upsample2d(rand_tensor((1, 1, 2, 2), rng), 0)
+
+    def test_pool_then_upsample_preserves_shape(self, rng):
+        x = rand_tensor((2, 3, 8, 8), rng)
+        out = F.upsample2d(F.max_pool2d(x, 2), 2)
+        assert out.shape == x.shape

@@ -1,0 +1,119 @@
+"""Systematic numerical gradient checks for composite models.
+
+These are the strongest correctness guarantees the nn substrate has:
+entire forward graphs (conv nets, the selective objective, the
+auto-encoder) are checked against central-difference gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.losses import selectivenet_objective
+from repro.nn.tensor import Tensor
+
+
+def relative_error(analytic, numeric):
+    scale = np.abs(numeric).max() + 1e-8
+    return np.abs(analytic - numeric).max() / scale
+
+
+class TestFullModelGradients:
+    def test_small_conv_classifier_end_to_end(self, rng, numgrad):
+        """All parameters of a conv classifier pass the gradient check."""
+        model = nn.Sequential(
+            nn.Conv2D(1, 3, 3, padding="same", rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2D(2),
+            nn.Flatten(),
+            nn.Dense(3 * 4 * 4, 4, rng=rng),
+        )
+        x = rng.normal(size=(3, 1, 8, 8)).astype(np.float32)
+        labels = np.array([0, 1, 3])
+
+        loss = nn.cross_entropy(model(Tensor(x)), labels)
+        model.zero_grad()
+        loss.backward()
+
+        for name, param in model.named_parameters():
+            def value(param=param):
+                return float(nn.cross_entropy(model(Tensor(x)), labels).data)
+
+            numeric = numgrad(value, param.data)
+            assert relative_error(param.grad, numeric) < 5e-2, name
+
+    def test_autoencoder_path(self, rng, numgrad):
+        """Conv -> pool -> upsample -> conv -> sigmoid MSE path."""
+        model = nn.Sequential(
+            nn.Conv2D(1, 2, 3, padding="same", rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2D(2),
+            nn.UpSample2D(2),
+            nn.Conv2D(2, 1, 3, padding="same", rng=rng),
+            nn.Sigmoid(),
+        )
+        x = rng.random((2, 1, 8, 8)).astype(np.float32)
+
+        loss = nn.mse_loss(model(Tensor(x)), x)
+        model.zero_grad()
+        loss.backward()
+
+        for name, param in model.named_parameters():
+            def value(param=param):
+                return float(nn.mse_loss(model(Tensor(x)), x).data)
+
+            numeric = numgrad(value, param.data)
+            assert relative_error(param.grad, numeric) < 5e-2, name
+
+    def test_selectivenet_objective_through_two_heads(self, rng, numgrad):
+        """Eq. 9 gradients through shared features + both heads."""
+        backbone_w = Tensor((rng.normal(size=(10, 6)) * 0.4).astype(np.float32), requires_grad=True)
+        pred_w = Tensor((rng.normal(size=(6, 3)) * 0.4).astype(np.float32), requires_grad=True)
+        sel_w = Tensor((rng.normal(size=(6, 1)) * 0.4).astype(np.float32), requires_grad=True)
+        x = rng.normal(size=(5, 10)).astype(np.float32)
+        labels = np.array([0, 1, 2, 1, 0])
+        weights = np.array([1, 1, 0.5, 0.5, 1], dtype=np.float32)
+
+        def forward(bw, pw, sw):
+            features = (Tensor(x) @ bw).relu()
+            logits = features @ pw
+            selection = (features @ sw).sigmoid().reshape(-1)
+            return selectivenet_objective(
+                logits, selection, labels, target_coverage=0.7,
+                lam=2.0, alpha=0.5, sample_weights=weights,
+            ).total
+
+        loss = forward(backbone_w, pred_w, sel_w)
+        loss.backward()
+
+        for tensor in (backbone_w, pred_w, sel_w):
+            def value(tensor=tensor):
+                return float(
+                    forward(
+                        Tensor(backbone_w.data), Tensor(pred_w.data), Tensor(sel_w.data)
+                    ).data
+                )
+
+            numeric = numgrad(value, tensor.data)
+            assert relative_error(tensor.grad, numeric) < 5e-2
+
+    def test_batchnorm_training_gradients(self, rng, numgrad):
+        bn = nn.BatchNorm1D(3)
+        x = rng.normal(size=(6, 3)).astype(np.float32)
+        target = rng.normal(size=(6, 3)).astype(np.float32)
+
+        def run():
+            # Reset running stats so repeated evaluations are identical.
+            bn._buffers["running_mean"] = np.zeros(3, dtype=np.float32)
+            bn._buffers["running_var"] = np.ones(3, dtype=np.float32)
+            return nn.mse_loss(bn(Tensor(x)), target)
+
+        loss = run()
+        bn.zero_grad()
+        loss.backward()
+        for name, param in bn.named_parameters():
+            def value(param=param):
+                return float(run().data)
+
+            numeric = numgrad(value, param.data)
+            assert relative_error(param.grad, numeric) < 5e-2, name

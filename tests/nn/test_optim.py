@@ -1,0 +1,209 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.layers.base import Parameter
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, ExponentialLR, RMSProp, StepLR
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start], dtype=np.float32))
+
+
+def minimize(optimizer_factory, steps=200):
+    """Drive x^2 toward 0 and return |x| after ``steps``."""
+    param = quadratic_param()
+    optimizer = optimizer_factory([param])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (nn.Tensor(param.data, requires_grad=False), )
+        param.grad = 2.0 * param.data  # d(x^2)/dx
+        optimizer.step()
+    return float(np.abs(param.data[0]))
+
+
+class TestOptimizerBase:
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_negative_weight_decay_raises(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, weight_decay=-1.0)
+
+    def test_step_skips_params_without_grad(self):
+        param = quadratic_param()
+        optimizer = SGD([param], lr=0.1)
+        before = param.data.copy()
+        optimizer.step()
+        np.testing.assert_array_equal(param.data, before)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = quadratic_param(1.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(1, dtype=np.float32)
+        optimizer.step()
+        assert param.data[0] < 1.0
+
+    def test_state_dict_roundtrip(self):
+        optimizer = SGD([quadratic_param()], lr=0.1)
+        optimizer._step_count = 7
+        state = optimizer.state_dict()
+        other = SGD([quadratic_param()], lr=0.5)
+        other.load_state_dict(state)
+        assert other._step_count == 7
+        assert other.lr == 0.1
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self):
+        assert minimize(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_momentum_converges(self):
+        assert minimize(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_nesterov_converges(self):
+        assert minimize(lambda p: SGD(p, lr=0.05, momentum=0.9, nesterov=True)) < 1e-3
+
+    def test_nesterov_without_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, nesterov=True)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_single_step_matches_formula(self):
+        param = quadratic_param(2.0)
+        optimizer = SGD([param], lr=0.25)
+        param.grad = np.array([4.0], dtype=np.float32)
+        optimizer.step()
+        assert param.data[0] == pytest.approx(2.0 - 0.25 * 4.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert minimize(lambda p: Adam(p, lr=0.2)) < 1e-2
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.0, 0.999))
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step is ~lr * sign(grad)."""
+        param = quadratic_param(0.0)
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([3.0], dtype=np.float32)
+        optimizer.step()
+        assert param.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_adapts_to_gradient_scale(self):
+        """Two params with different gradient scales move equally."""
+        a = quadratic_param(0.0)
+        b = quadratic_param(0.0)
+        optimizer = Adam([a, b], lr=0.1)
+        a.grad = np.array([100.0], dtype=np.float32)
+        b.grad = np.array([0.01], dtype=np.float32)
+        optimizer.step()
+        assert a.data[0] == pytest.approx(b.data[0], rel=1e-2)
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        assert minimize(lambda p: RMSProp(p, lr=0.05)) < 1e-2
+
+    def test_invalid_rho_raises(self):
+        with pytest.raises(ValueError):
+            RMSProp([quadratic_param()], rho=1.5)
+
+
+class TestSchedules:
+    def make_optimizer(self):
+        return SGD([quadratic_param()], lr=1.0)
+
+    def test_constant(self):
+        schedule = ConstantLR(self.make_optimizer())
+        for _ in range(5):
+            assert schedule.step() == 1.0
+
+    def test_step_lr_decays(self):
+        schedule = StepLR(self.make_optimizer(), step_size=2, gamma=0.1)
+        lrs = [schedule.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_step_lr_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(self.make_optimizer(), step_size=0)
+
+    def test_exponential_decay(self):
+        schedule = ExponentialLR(self.make_optimizer(), gamma=0.5)
+        assert schedule.step() == pytest.approx(0.5)
+        assert schedule.step() == pytest.approx(0.25)
+
+    def test_cosine_reaches_min(self):
+        optimizer = self.make_optimizer()
+        schedule = CosineLR(optimizer, t_max=10, min_lr=0.1)
+        for _ in range(10):
+            schedule.step()
+        assert optimizer.lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineLR(self.make_optimizer(), t_max=10)
+        lrs = [schedule.step() for _ in range(10)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineLR(self.make_optimizer(), t_max=0)
+
+
+class TestEndToEndTraining:
+    def test_dense_net_learns_linear_map(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(4, 2)).astype(np.float32)
+        x = rng.normal(size=(128, 4)).astype(np.float32)
+        y = x @ true_w
+        model = nn.Dense(4, 2, rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            out = model(nn.Tensor(x))
+            loss = nn.mse_loss(out, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(model.weight.data, true_w, atol=0.05)
+
+    def test_conv_net_learns_to_classify_quadrant(self):
+        """A tiny conv net learns a synthetic spatial task."""
+        rng = np.random.default_rng(1)
+        x = np.zeros((80, 1, 8, 8), dtype=np.float32)
+        labels = np.zeros(80, dtype=np.int64)
+        for i in range(80):
+            quadrant = i % 2
+            if quadrant == 0:
+                x[i, 0, :4, :4] = rng.random((4, 4))
+            else:
+                x[i, 0, 4:, 4:] = rng.random((4, 4))
+            labels[i] = quadrant
+        model = nn.Sequential(
+            nn.Conv2D(1, 4, 3, padding="same", rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2D(2),
+            nn.Flatten(),
+            nn.Dense(4 * 4 * 4, 2, rng=rng),
+        )
+        optimizer = Adam(model.parameters(), lr=0.01)
+        for _ in range(60):
+            logits = model(nn.Tensor(x))
+            loss = nn.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        accuracy = (model(nn.Tensor(x)).data.argmax(axis=1) == labels).mean()
+        assert accuracy > 0.95

@@ -1,0 +1,58 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import load_model, save_model
+
+
+def build_model(seed):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2D(1, 4, 3, padding="same", rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2D(2),
+        nn.Flatten(),
+        nn.Dense(4 * 4 * 4, 3, rng=rng),
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        model = build_model(0)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        other = build_model(1)
+        x = nn.Tensor(np.random.default_rng(2).normal(size=(2, 1, 8, 8)).astype(np.float32))
+        assert not np.allclose(model(x).data, other(x).data)
+        load_model(other, path)
+        np.testing.assert_allclose(model(x).data, other(x).data, rtol=1e-6)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "model.npz"
+        save_model(build_model(0), path)
+        assert path.exists()
+
+    def test_mismatched_architecture_raises(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(build_model(0), path)
+        wrong = nn.Dense(3, 3, rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_model(wrong, path)
+
+    def test_batchnorm_running_stats_roundtrip(self, tmp_path):
+        bn = nn.BatchNorm1D(2)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            bn(nn.Tensor(rng.normal(5, 2, size=(16, 2)).astype(np.float32)))
+        path = tmp_path / "bn.npz"
+        save_model(bn, path)
+        fresh = nn.BatchNorm1D(2)
+        load_model(fresh, path)
+        np.testing.assert_allclose(
+            fresh._buffers["running_mean"], bn._buffers["running_mean"]
+        )
+        np.testing.assert_allclose(
+            fresh._buffers["running_var"], bn._buffers["running_var"]
+        )

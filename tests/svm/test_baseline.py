@@ -1,0 +1,42 @@
+"""Tests for the end-to-end SVM baseline pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset, stratified_split
+from repro.metrics import accuracy
+from repro.svm.baseline import SVMBaseline
+
+
+class TestSVMBaseline:
+    def test_fit_predict_beats_majority_class(self):
+        counts = {"Center": 15, "Edge-Ring": 15, "Near-Full": 8, "None": 40}
+        dataset = generate_dataset(counts, size=24, seed=0)
+        train, test = stratified_split(dataset, [0.8, 0.2], np.random.default_rng(0))
+        baseline = SVMBaseline(max_iterations=30)
+        baseline.fit(train)
+        acc = accuracy(test.labels, baseline.predict(test))
+        majority = max(test.class_counts().values()) / len(test)
+        assert acc > majority
+
+    def test_predict_before_fit_raises(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            SVMBaseline().predict(tiny_dataset)
+
+    def test_empty_train_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SVMBaseline().fit(tiny_dataset.subset([]))
+
+    def test_remembers_class_names(self, tiny_splits):
+        train, __, __ = tiny_splits
+        baseline = SVMBaseline(max_iterations=5)
+        baseline.fit(train)
+        assert baseline.class_names == train.class_names
+
+    def test_predictions_in_label_range(self, tiny_splits):
+        train, __, test = tiny_splits
+        baseline = SVMBaseline(max_iterations=5)
+        baseline.fit(train)
+        predictions = baseline.predict(test)
+        assert predictions.min() >= 0
+        assert predictions.max() < train.num_classes

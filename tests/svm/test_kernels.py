@@ -1,0 +1,77 @@
+"""Tests for kernel functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.svm.kernels import get_kernel, linear_kernel, polynomial_kernel, rbf_kernel
+
+
+class TestLinear:
+    def test_gram_values(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([[1.0, 1.0]])
+        np.testing.assert_allclose(linear_kernel(a, b), [[1.0], [1.0]])
+
+    def test_symmetric_gram(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 3))
+        gram = linear_kernel(x, x)
+        np.testing.assert_allclose(gram, gram.T)
+
+
+class TestRBF:
+    def test_self_similarity_is_one(self):
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        np.testing.assert_allclose(np.diag(rbf_kernel(x, x)), 1.0, rtol=1e-6)
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0]])
+        near = np.array([[0.1]])
+        far = np.array([[5.0]])
+        assert rbf_kernel(a, near)[0, 0] > rbf_kernel(a, far)[0, 0]
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        gram = rbf_kernel(rng.normal(size=(6, 2)), rng.normal(size=(4, 2)), gamma=0.5)
+        assert gram.min() >= 0.0 and gram.max() <= 1.0
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 1)), np.zeros((1, 1)), gamma=0.0)
+
+
+class TestPolynomial:
+    def test_degree_one_is_affine_linear(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(3, 2))
+        b = rng.normal(size=(3, 2))
+        np.testing.assert_allclose(
+            polynomial_kernel(a, b, degree=1, coef0=0.0, gamma=1.0),
+            linear_kernel(a, b),
+            rtol=1e-6,
+        )
+
+
+class TestGetKernel:
+    @pytest.mark.parametrize("name", ["linear", "rbf", "poly"])
+    def test_known_names(self, name):
+        kernel = get_kernel(name)
+        out = kernel(np.ones((2, 2)), np.ones((3, 2)))
+        assert out.shape == (2, 3)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_kernel("sigmoid")
+
+
+@given(st.integers(1, 6), st.integers(1, 4), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_property_rbf_gram_positive_semidefinite(n, d, seed):
+    """Property: RBF Gram matrices are PSD (eigenvalues >= -eps)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    gram = rbf_kernel(x, x, gamma=0.7)
+    eigenvalues = np.linalg.eigvalsh(gram)
+    assert eigenvalues.min() > -1e-8

@@ -1,0 +1,75 @@
+"""Tests for multi-class SVM reductions."""
+
+import numpy as np
+import pytest
+
+from repro.svm.multiclass import OneVsOneSVM, OneVsRestSVM
+
+
+def three_blobs(n=25, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 4], [-4, -2], [4, -2]], dtype=float)
+    features = []
+    labels = []
+    for label, center in enumerate(centers):
+        features.append(rng.normal(center, 0.8, size=(n, 2)))
+        labels.extend([label] * n)
+    return np.concatenate(features), np.asarray(labels)
+
+
+class TestOneVsOne:
+    def test_classifies_three_blobs(self):
+        features, labels = three_blobs()
+        model = OneVsOneSVM(kernel="rbf", c=5.0)
+        model.fit(features, labels)
+        assert (model.predict(features) == labels).mean() > 0.95
+
+    def test_number_of_pairwise_models(self):
+        features, labels = three_blobs()
+        model = OneVsOneSVM(kernel="linear")
+        model.fit(features, labels)
+        assert len(model.models_) == 3  # C(3,2)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OneVsOneSVM().predict(np.zeros((2, 2)))
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            OneVsOneSVM().fit(np.zeros((4, 2)), np.zeros(4, dtype=int))
+
+    def test_handles_non_contiguous_labels(self):
+        features, labels = three_blobs()
+        shifted = labels * 10 + 5  # labels {5, 15, 25}
+        model = OneVsOneSVM(kernel="linear")
+        model.fit(features, shifted)
+        predictions = model.predict(features)
+        assert set(predictions.tolist()) <= {5, 15, 25}
+        assert (predictions == shifted).mean() > 0.95
+
+
+class TestOneVsRest:
+    def test_classifies_three_blobs(self):
+        features, labels = three_blobs()
+        model = OneVsRestSVM(kernel="rbf", c=5.0)
+        model.fit(features, labels)
+        assert (model.predict(features) == labels).mean() > 0.95
+
+    def test_one_model_per_class(self):
+        features, labels = three_blobs()
+        model = OneVsRestSVM(kernel="linear")
+        model.fit(features, labels)
+        assert len(model.models_) == 3
+
+    def test_decision_function_shape(self):
+        features, labels = three_blobs()
+        model = OneVsRestSVM(kernel="linear")
+        model.fit(features, labels)
+        assert model.decision_function(features[:7]).shape == (7, 3)
+
+    def test_agreement_with_ovo_on_easy_data(self):
+        features, labels = three_blobs()
+        ovo = OneVsOneSVM(kernel="linear").fit(features, labels)
+        ovr = OneVsRestSVM(kernel="linear").fit(features, labels)
+        agreement = (ovo.predict(features) == ovr.predict(features)).mean()
+        assert agreement > 0.9

@@ -1,0 +1,37 @@
+"""Tests for feature standardization."""
+
+import numpy as np
+import pytest
+
+from repro.svm.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_fit_transform_standardizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, rtol=1e-10)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        np.testing.assert_allclose(scaler.transform(np.array([[5.0]])), [[0.0]])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))

@@ -1,0 +1,82 @@
+"""Tests for margin-based selective SVM."""
+
+import numpy as np
+import pytest
+
+from repro.core.selective import ABSTAIN
+from repro.data import generate_dataset, stratified_split
+from repro.svm import SelectiveSVM, SVMBaseline
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    counts = {"Center": 20, "Edge-Ring": 20, "Near-Full": 10, "None": 40}
+    dataset = generate_dataset(counts, size=24, seed=3)
+    train, test = stratified_split(dataset, [0.7, 0.3], np.random.default_rng(3))
+    baseline = SVMBaseline(max_iterations=30, seed=3)
+    baseline.fit(train)
+    return baseline, train, test
+
+
+class TestValidation:
+    def test_requires_fitted_baseline(self):
+        with pytest.raises(ValueError):
+            SelectiveSVM(SVMBaseline())
+
+
+class TestMargins:
+    def test_margin_per_sample(self, fitted):
+        baseline, __, test = fitted
+        selective = SelectiveSVM(baseline)
+        margins = selective.margins(test)
+        assert margins.shape == (len(test),)
+        assert np.all(margins >= 0)
+
+    def test_empty_dataset(self, fitted):
+        baseline, train, __ = fitted
+        selective = SelectiveSVM(baseline)
+        assert selective.margins(train.subset([])).shape == (0,)
+
+
+class TestSelectivePrediction:
+    def test_low_threshold_accepts_all(self, fitted):
+        baseline, __, test = fitted
+        selective = SelectiveSVM(baseline, threshold=-1.0)
+        prediction = selective.predict_selective(test)
+        assert prediction.coverage == 1.0
+
+    def test_high_threshold_abstains(self, fitted):
+        baseline, __, test = fitted
+        selective = SelectiveSVM(baseline)
+        prediction = selective.predict_selective(test, threshold=1e9)
+        assert prediction.coverage == 0.0
+        assert np.all(prediction.labels == ABSTAIN)
+
+    def test_raw_labels_match_baseline(self, fitted):
+        baseline, __, test = fitted
+        selective = SelectiveSVM(baseline)
+        prediction = selective.predict_selective(test)
+        np.testing.assert_array_equal(prediction.raw_labels, baseline.predict(test))
+
+    def test_rejection_improves_or_maintains_accuracy(self, fitted):
+        """Margin rejection at 70% coverage should not hurt accuracy."""
+        baseline, train, test = fitted
+        selective = SelectiveSVM(baseline)
+        selective.calibrate_coverage(train, 0.7)
+        prediction = selective.predict_selective(test)
+        if not prediction.accepted.any():
+            pytest.skip("degenerate margins")
+        full = (prediction.raw_labels == test.labels).mean()
+        selected = (
+            prediction.labels[prediction.accepted] == test.labels[prediction.accepted]
+        ).mean()
+        assert selected >= full - 0.05
+
+
+class TestCalibration:
+    def test_threshold_hits_target_on_calibration_set(self, fitted):
+        baseline, train, __ = fitted
+        selective = SelectiveSVM(baseline)
+        result = selective.calibrate_coverage(train, 0.6)
+        assert result.realized_coverage >= 0.6
+        assert selective.threshold == result.threshold

@@ -1,0 +1,112 @@
+"""Tests for the SMO binary SVM."""
+
+import numpy as np
+import pytest
+
+from repro.svm.smo import BinarySVM
+
+
+def gaussian_blobs(n=40, separation=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    negative = rng.normal(-separation / 2, 1.0, size=(n, 2))
+    positive = rng.normal(separation / 2, 1.0, size=(n, 2))
+    features = np.concatenate([negative, positive])
+    labels = np.concatenate([-np.ones(n), np.ones(n)])
+    return features, labels
+
+
+class TestValidation:
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            BinarySVM(c=0.0)
+
+    def test_labels_must_be_pm1(self):
+        svm = BinarySVM()
+        with pytest.raises(ValueError):
+            svm.fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+
+    def test_needs_both_classes(self):
+        svm = BinarySVM()
+        with pytest.raises(ValueError):
+            svm.fit(np.zeros((4, 2)), np.ones(4))
+
+    def test_features_must_be_2d(self):
+        svm = BinarySVM()
+        with pytest.raises(ValueError):
+            svm.fit(np.zeros(4), np.array([-1, 1, -1, 1.0]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BinarySVM().predict(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            __ = BinarySVM().n_support_
+
+
+class TestLinearlySeparable:
+    def test_linear_kernel_separates(self):
+        features, labels = gaussian_blobs()
+        svm = BinarySVM(kernel="linear", c=1.0)
+        svm.fit(features, labels)
+        assert (svm.predict(features) == labels).mean() > 0.97
+
+    def test_rbf_kernel_separates(self):
+        features, labels = gaussian_blobs()
+        svm = BinarySVM(kernel="rbf", c=1.0)
+        svm.fit(features, labels)
+        assert (svm.predict(features) == labels).mean() > 0.97
+
+    def test_sparse_support_on_easy_data(self):
+        features, labels = gaussian_blobs(separation=8.0)
+        svm = BinarySVM(kernel="linear", c=1.0)
+        svm.fit(features, labels)
+        assert svm.n_support_ < len(features) / 2
+
+    def test_margin_sign_matches_labels(self):
+        features, labels = gaussian_blobs()
+        svm = BinarySVM(kernel="linear")
+        svm.fit(features, labels)
+        decisions = svm.decision_function(features)
+        assert ((decisions >= 0) == (labels > 0)).mean() > 0.97
+
+
+class TestNonlinear:
+    def test_rbf_solves_circles(self):
+        """Concentric circles: impossible linearly, easy with RBF."""
+        rng = np.random.default_rng(1)
+        angles = rng.uniform(0, 2 * np.pi, 120)
+        radii = np.where(np.arange(120) % 2 == 0, 1.0, 3.0)
+        radii = radii + rng.normal(0, 0.1, 120)
+        features = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+        labels = np.where(np.arange(120) % 2 == 0, 1.0, -1.0)
+
+        rbf = BinarySVM(kernel="rbf", gamma=1.0, c=10.0)
+        rbf.fit(features, labels)
+        assert (rbf.predict(features) == labels).mean() > 0.95
+
+        linear = BinarySVM(kernel="linear", c=10.0)
+        linear.fit(features, labels)
+        assert (linear.predict(features) == labels).mean() < 0.75
+
+    def test_soft_margin_tolerates_label_noise(self):
+        features, labels = gaussian_blobs(n=50, separation=5.0)
+        noisy = labels.copy()
+        noisy[:3] = -noisy[:3]  # flip a few labels
+        svm = BinarySVM(kernel="rbf", c=1.0)
+        svm.fit(features, noisy)
+        # Accuracy against the TRUE labels stays high: the soft margin
+        # refuses to contort around the flipped points.
+        assert (svm.predict(features) == labels).mean() > 0.9
+
+
+class TestGammaHeuristic:
+    def test_scale_gamma_runs(self):
+        features, labels = gaussian_blobs(n=20)
+        svm = BinarySVM(kernel="rbf", gamma="scale")
+        svm.fit(features, labels)
+        assert (svm.predict(features) == labels).mean() > 0.9
+
+    def test_custom_kernel_callable(self):
+        features, labels = gaussian_blobs(n=20)
+        svm = BinarySVM(kernel=lambda a, b: a @ b.T)
+        svm.fit(features, labels)
+        assert (svm.predict(features) == labels).mean() > 0.9

@@ -1,0 +1,124 @@
+"""Cross-module integration tests.
+
+Each test exercises a realistic slice of the full system — data
+synthesis through training to selective evaluation — at a scale that
+keeps the suite fast while still validating that the pieces compose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AugmentationConfig,
+    BackboneConfig,
+    SelectiveWaferClassifier,
+    TrainConfig,
+    augment_dataset,
+    load_classifier,
+    risk_coverage_curve,
+    save_classifier,
+)
+from repro.data import generate_dataset, save_dataset, load_dataset, stratified_split
+from repro.metrics import evaluate_selective
+from repro.svm import SVMBaseline
+
+
+@pytest.fixture(scope="module")
+def learnable_splits():
+    """A two-easy-classes dataset the tiny CNN can learn in seconds."""
+    counts = {"Near-Full": 30, "None": 60}
+    dataset = generate_dataset(counts, size=16, seed=5)
+    rng = np.random.default_rng(5)
+    return stratified_split(dataset, [0.6, 0.2, 0.2], rng)
+
+
+def tiny_classifier(map_size, target_coverage=0.5, epochs=30):
+    return SelectiveWaferClassifier(
+        target_coverage=target_coverage,
+        backbone=BackboneConfig(
+            input_size=map_size, conv_channels=(4, 4), conv_kernels=(3, 3),
+            fc_units=16, seed=0,
+        ),
+        train=TrainConfig(epochs=epochs, batch_size=16, learning_rate=5e-3, seed=0),
+    )
+
+
+class TestEndToEndSelective:
+    def test_learns_easy_classes_with_high_selective_accuracy(self, learnable_splits):
+        train, validation, test = learnable_splits
+        classifier = tiny_classifier(train.map_size)
+        classifier.fit(train, validation=validation, calibrate=True)
+        prediction = classifier.predict_dataset(test)
+        evaluation = evaluate_selective(prediction, test.labels, test.class_names)
+        assert evaluation.overall_coverage >= 0.4
+        assert evaluation.overall_accuracy >= 0.9
+
+    def test_risk_coverage_curve_from_real_scores(self, learnable_splits):
+        train, validation, test = learnable_splits
+        classifier = tiny_classifier(train.map_size)
+        classifier.fit(train, validation=validation)
+        probabilities, scores = classifier.model.predict_batched(test.tensors())
+        correct = probabilities.argmax(axis=1) == test.labels
+        points = risk_coverage_curve(scores, correct)
+        assert points[-1].coverage == pytest.approx(1.0)
+        # Risk at full coverage equals the raw error rate.
+        assert points[-1].risk == pytest.approx(1.0 - correct.mean(), abs=1e-9)
+
+
+class TestAugmentationIntoTraining:
+    def test_augmented_dataset_trains_without_error(self, learnable_splits):
+        train, validation, __ = learnable_splits
+        augmented = augment_dataset(
+            train,
+            AugmentationConfig(target_count=40, ae_epochs=2, ae_channels=(4, 4), seed=0),
+        )
+        assert len(augmented) > len(train)
+        classifier = tiny_classifier(train.map_size, epochs=2)
+        classifier.fit(augmented, validation=validation)
+        assert classifier.model is not None
+
+
+class TestPersistenceChain:
+    def test_dataset_and_model_roundtrip_compose(self, learnable_splits, tmp_path):
+        train, validation, test = learnable_splits
+        save_dataset(test, tmp_path / "test.npz")
+        reloaded_test = load_dataset(tmp_path / "test.npz")
+
+        classifier = tiny_classifier(train.map_size, epochs=4)
+        classifier.fit(train, validation=validation, calibrate=True)
+        save_classifier(classifier, tmp_path / "clf.npz")
+        served = load_classifier(tmp_path / "clf.npz")
+
+        original = classifier.predict_dataset(test)
+        roundtripped = served.predict_dataset(reloaded_test)
+        np.testing.assert_array_equal(original.labels, roundtripped.labels)
+
+
+class TestSVMOnSameData:
+    def test_svm_trains_on_the_cnn_dataset(self, learnable_splits):
+        train, __, test = learnable_splits
+        baseline = SVMBaseline(max_iterations=20)
+        baseline.fit(train)
+        predictions = baseline.predict(test)
+        assert (predictions == test.labels).mean() > 0.8
+
+
+class TestUnseenClassAbstention:
+    def test_abstains_more_on_unseen_class(self):
+        """The Table IV phenomenon at miniature scale: a class that was
+        never trained on receives lower selection scores on average."""
+        counts = {"Near-Full": 40, "None": 80, "Edge-Ring": 40}
+        dataset = generate_dataset(counts, size=16, seed=9)
+        rng = np.random.default_rng(9)
+        train, validation, test = stratified_split(dataset, [0.6, 0.2, 0.2], rng)
+        known = ("Near-Full", "None")
+        train_known = train.filter_classes(known, relabel=True)
+        val_known = validation.filter_classes(known, relabel=True)
+
+        classifier = tiny_classifier(train.map_size, epochs=15)
+        classifier.fit(train_known, validation=val_known, calibrate=True)
+        __, scores = classifier.model.predict_batched(test.tensors())
+
+        unseen = test.labels == test.class_names.index("Edge-Ring")
+        assert unseen.any() and (~unseen).any()
+        assert scores[unseen].mean() < scores[~unseen].mean()

@@ -1,0 +1,76 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, line_plot, scatter_plot
+
+
+class TestLinePlot:
+    def test_contains_title_and_legend(self):
+        chart = line_plot([0, 1, 2], [("accuracy", [0.5, 0.7, 0.9])], title="T")
+        assert chart.splitlines()[0] == "T"
+        assert "accuracy" in chart
+
+    def test_two_series_two_glyphs(self):
+        chart = line_plot(
+            [0, 1], [("a", [0.0, 1.0]), ("b", [1.0, 0.0])], width=20, height=8
+        )
+        assert "*" in chart and "o" in chart
+
+    def test_y_axis_labels_show_range(self):
+        chart = line_plot([0, 1], [("a", [0.25, 0.75])], width=10, height=5)
+        assert "0.75" in chart and "0.25" in chart
+
+    def test_fixed_y_range(self):
+        chart = line_plot([0, 1], [("a", [0.4, 0.6])], y_range=(0.0, 1.0))
+        assert "1.00" in chart and "0.00" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_plot([0, 1, 2], [("flat", [0.5, 0.5, 0.5])])
+        assert "flat" in chart
+
+    def test_mismatched_series_length_raises(self):
+        with pytest.raises(ValueError):
+            line_plot([0, 1], [("a", [1.0])])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_plot([], [])
+
+    def test_monotone_series_plots_monotone_glyphs(self):
+        """The glyph for the max y must sit higher than for the min y."""
+        chart = line_plot([0, 1], [("a", [0.0, 1.0])], width=10, height=6)
+        rows = [i for i, line in enumerate(chart.splitlines()) if "*" in line]
+        assert rows[0] < rows[-1] or len(rows) == 1
+
+
+class TestScatter:
+    def test_runs(self):
+        chart = scatter_plot([1, 2, 3], [3, 1, 2], width=12, height=6)
+        assert "points" in chart
+
+
+class TestBarChart:
+    def test_bar_lengths_proportional(self):
+        chart = bar_chart(["x", "y"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["a", "long"], [1, 1])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_zero_values_ok(self):
+        chart = bar_chart(["z"], [0.0])
+        assert "z" in chart
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
