@@ -1,0 +1,22 @@
+# Developer entry points.  `make check` is the fast gate (tier-1 tests
+# + compileall); `make bench` regenerates every paper artifact.
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test bench profile clean
+
+check:
+	sh scripts/check.sh
+
+test:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q
+
+profile:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q -s --profile
+
+clean:
+	rm -rf src/*.egg-info build dist .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

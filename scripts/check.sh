@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Fast correctness gate: tier-1 tests plus a whole-tree syntax/import
+# compile, without the benchmark suite.  Run from the repo root:
+#
+#   sh scripts/check.sh        (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src examples benchmarks scripts
+
+echo "== pytest (tier 1) =="
+python -m pytest -x -q
+
+echo "check: OK"

@@ -10,6 +10,8 @@ Top-level layout:
 * :mod:`repro.features` / :mod:`repro.svm` — the Radon+geometry feature
   SVM baseline of Wu et al. (TSM'15) the paper compares against;
 * :mod:`repro.metrics` — evaluation metrics;
+* :mod:`repro.obs` — observability: metrics registry, structured run
+  logs, per-layer profiling, selective coverage monitoring;
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart
@@ -24,6 +26,6 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import core, data, metrics, nn, viz
+from . import core, data, metrics, nn, obs, viz
 
-__all__ = ["core", "data", "metrics", "nn", "viz", "__version__"]
+__all__ = ["core", "data", "metrics", "nn", "obs", "viz", "__version__"]

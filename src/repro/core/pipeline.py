@@ -9,9 +9,12 @@ target coverage, and selective inference — behind a scikit-learn-ish
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports core)
+    from ..obs.events import RunLogger
 
 from ..data.dataset import WaferDataset
 from .augmentation import AugmentationConfig, augment_dataset
@@ -39,6 +42,10 @@ class SelectiveWaferClassifier:
         Backbone architecture (Table I defaults at the given size).
     train:
         Training budget and optimizer settings.
+    run_logger:
+        Optional :class:`~repro.obs.events.RunLogger`; when set, the
+        training config, per-epoch stats, and the calibration outcome
+        are appended to its JSONL stream.
 
     Example
     -------
@@ -53,6 +60,7 @@ class SelectiveWaferClassifier:
     backbone: Optional[BackboneConfig] = None
     train: TrainConfig = field(default_factory=TrainConfig)
     selection_hidden: object = "auto"
+    run_logger: Optional["RunLogger"] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_coverage <= 1.0:
@@ -88,7 +96,7 @@ class SelectiveWaferClassifier:
             selection_hidden=self.selection_hidden,
         )
         config = TrainConfig(**{**self.train.__dict__, "target_coverage": self.target_coverage})
-        trainer = Trainer(self.model, config)
+        trainer = Trainer(self.model, config, run_logger=self.run_logger)
         self.history = trainer.fit(train_data, validation=validation)
 
         if calibrate:
@@ -98,6 +106,12 @@ class SelectiveWaferClassifier:
             correct = probabilities.argmax(axis=1) == validation.labels
             self.calibration = threshold_for_coverage(scores, self.target_coverage, correct)
             self.model.threshold = self.calibration.threshold
+            if self.run_logger is not None:
+                self.run_logger.log(
+                    "calibration",
+                    threshold=self.calibration.threshold,
+                    target_coverage=self.target_coverage,
+                )
         return self
 
     # ------------------------------------------------------------------
@@ -127,6 +141,7 @@ class FullCoverageWaferClassifier:
     augmentation: Optional[AugmentationConfig] = None
     backbone: Optional[BackboneConfig] = None
     train: TrainConfig = field(default_factory=TrainConfig)
+    run_logger: Optional["RunLogger"] = None
 
     def __post_init__(self) -> None:
         self.model: Optional[WaferCNN] = None
@@ -144,7 +159,7 @@ class FullCoverageWaferClassifier:
             backbone = BackboneConfig(input_size=train_data.map_size, seed=self.train.seed)
         self.model = WaferCNN(num_classes=train_data.num_classes, config=backbone)
         config = TrainConfig(**{**self.train.__dict__, "target_coverage": 1.0})
-        trainer = Trainer(self.model, config)
+        trainer = Trainer(self.model, config, run_logger=self.run_logger)
         self.history = trainer.fit(train_data, validation=validation)
         return self
 

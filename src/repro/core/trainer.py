@@ -7,9 +7,10 @@ scaled to what the numpy substrate can run in reasonable time.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -19,7 +20,26 @@ from .cnn import WaferCNN
 from .losses import selectivenet_objective
 from .selective import SelectiveNet
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports core)
+    from ..obs.events import RunLogger
+
 __all__ = ["TrainConfig", "EpochStats", "TrainHistory", "Trainer"]
+
+logger = logging.getLogger("repro.trainer")
+
+
+def _ensure_stream_handler() -> None:
+    """Attach a plain stdout handler for ``verbose=True`` convenience.
+
+    Users who configure ``logging`` themselves never hit this; it only
+    fires when verbose output was requested and the ``repro.trainer``
+    logger would otherwise swallow INFO records.
+    """
+    if logger.handlers or logging.getLogger().handlers:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
 
 
 @dataclass
@@ -58,7 +78,12 @@ class TrainConfig:
 
 @dataclass
 class EpochStats:
-    """Metrics recorded after each epoch."""
+    """Metrics recorded after each epoch.
+
+    ``grad_norm`` is the mean global L2 gradient norm over the epoch's
+    batches (measured before clipping), the standard divergence /
+    vanishing-gradient telltale in run logs.
+    """
 
     epoch: int
     loss: float
@@ -67,6 +92,7 @@ class EpochStats:
     selective_risk: float
     seconds: float
     val_accuracy: Optional[float] = None
+    grad_norm: Optional[float] = None
 
 
 @dataclass
@@ -97,11 +123,17 @@ class Trainer:
     cross-entropy (alpha effectively 0) at full coverage.
     """
 
-    def __init__(self, model: nn.Module, config: Optional[TrainConfig] = None) -> None:
+    def __init__(
+        self,
+        model: nn.Module,
+        config: Optional[TrainConfig] = None,
+        run_logger: Optional["RunLogger"] = None,
+    ) -> None:
         if not isinstance(model, (WaferCNN, SelectiveNet)):
             raise TypeError("Trainer supports WaferCNN and SelectiveNet models")
         self.model = model
         self.config = config if config is not None else TrainConfig()
+        self.run_logger = run_logger
         self.optimizer = nn.Adam(
             model.parameters(),
             lr=self.config.learning_rate,
@@ -117,15 +149,28 @@ class Trainer:
         validation: Optional[WaferDataset] = None,
         callback: Optional[Callable[[EpochStats], None]] = None,
     ) -> TrainHistory:
-        """Run the configured number of epochs; returns the history."""
+        """Run the configured number of epochs; returns the history.
+
+        Progress goes through the ``repro.trainer`` logger
+        (``verbose=True`` attaches a stream handler as a convenience);
+        when a :class:`~repro.obs.events.RunLogger` was passed to the
+        constructor, the config, every :class:`EpochStats`, and a final
+        summary are appended to its JSONL stream.
+        """
         if len(train) == 0:
             raise ValueError("cannot train on an empty dataset")
+        if self.config.verbose:
+            _ensure_stream_handler()
+            logger.setLevel(logging.INFO)
+        if self.run_logger is not None:
+            self.run_logger.log_config(self.config)
         batches = BatchIterator(
             train,
             batch_size=self.config.batch_size,
             rng=self._rng,
             shuffle=self.config.shuffle,
         )
+        started = time.perf_counter()
         best_val = -np.inf
         epochs_without_improvement = 0
         for epoch in range(1, self.config.epochs + 1):
@@ -135,12 +180,14 @@ class Trainer:
             self.history.append(stats)
             if callback is not None:
                 callback(stats)
-            if self.config.verbose:
-                val = f" val_acc={stats.val_accuracy:.3f}" if stats.val_accuracy is not None else ""
-                print(
-                    f"epoch {epoch:3d} loss={stats.loss:.4f} "
-                    f"acc={stats.train_accuracy:.3f} cov={stats.coverage:.3f}{val}"
-                )
+            if self.run_logger is not None:
+                self.run_logger.log_epoch(stats)
+            val = f" val_acc={stats.val_accuracy:.3f}" if stats.val_accuracy is not None else ""
+            logger.info(
+                "epoch %3d loss=%.4f acc=%.3f cov=%.3f grad=%.3f%s",
+                epoch, stats.loss, stats.train_accuracy, stats.coverage,
+                stats.grad_norm if stats.grad_norm is not None else 0.0, val,
+            )
             patience = self.config.early_stopping_patience
             if patience is not None and stats.val_accuracy is not None:
                 if stats.val_accuracy > best_val + 1e-9:
@@ -149,9 +196,21 @@ class Trainer:
                 else:
                     epochs_without_improvement += 1
                     if epochs_without_improvement >= patience:
-                        if self.config.verbose:
-                            print(f"early stop at epoch {epoch}")
+                        logger.info("early stop at epoch %d", epoch)
+                        if self.run_logger is not None:
+                            self.run_logger.log("early_stop", epoch=epoch)
                         break
+        if self.run_logger is not None:
+            final = self.history.final
+            self.run_logger.log(
+                "train_summary",
+                epochs_run=len(self.history.epochs),
+                wall_seconds=time.perf_counter() - started,
+                final_loss=final.loss,
+                final_train_accuracy=final.train_accuracy,
+                final_coverage=final.coverage,
+                final_val_accuracy=final.val_accuracy,
+            )
         return self.history
 
     # ------------------------------------------------------------------
@@ -163,6 +222,7 @@ class Trainer:
         total_samples = 0
         coverage_sum = 0.0
         risk_sum = 0.0
+        grad_norm_sum = 0.0
         batch_count = 0
 
         selective = isinstance(self.model, SelectiveNet) and self.config.target_coverage < 1.0
@@ -193,8 +253,10 @@ class Trainer:
 
             self.optimizer.zero_grad()
             loss.backward()
+            norm = self._grad_norm()
+            grad_norm_sum += norm
             if self.config.grad_clip is not None:
-                self._clip_gradients(self.config.grad_clip)
+                self._clip_gradients(self.config.grad_clip, norm=norm)
             self.optimizer.step()
 
             total_loss += float(loss.data) * len(labels)
@@ -209,15 +271,21 @@ class Trainer:
             coverage=coverage_sum / max(batch_count, 1),
             selective_risk=risk_sum / max(batch_count, 1),
             seconds=time.perf_counter() - started,
+            grad_norm=grad_norm_sum / max(batch_count, 1),
         )
 
-    def _clip_gradients(self, max_norm: float) -> None:
-        """Scale all gradients so their global L2 norm is <= max_norm."""
+    def _grad_norm(self) -> float:
+        """Global L2 norm over all parameter gradients."""
         total = 0.0
         for param in self.model.parameters():
             if param.grad is not None:
                 total += float((param.grad.astype(np.float64) ** 2).sum())
-        norm = np.sqrt(total)
+        return float(np.sqrt(total))
+
+    def _clip_gradients(self, max_norm: float, norm: Optional[float] = None) -> None:
+        """Scale all gradients so their global L2 norm is <= max_norm."""
+        if norm is None:
+            norm = self._grad_norm()
         if norm > max_norm:
             scale = max_norm / (norm + 1e-12)
             for param in self.model.parameters():
@@ -225,12 +293,12 @@ class Trainer:
                     param.grad *= scale
 
     def _quick_accuracy(self, dataset: WaferDataset) -> float:
+        if len(dataset) == 0:
+            return 0.0
         inputs = dataset.tensors()
         if isinstance(self.model, SelectiveNet):
             probabilities, _ = self.model.predict_batched(inputs)
             predictions = probabilities.argmax(axis=1)
         else:
             predictions = self.model.predict(inputs)
-        if len(dataset) == 0:
-            return 0.0
         return float((predictions == dataset.labels).mean())

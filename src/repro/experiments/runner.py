@@ -4,16 +4,23 @@ Usage::
 
     python -m repro.experiments.runner --experiment table2 --preset default
     python -m repro.experiments.runner --experiment all --preset smoke
+    python -m repro.experiments.runner --experiment table2 --log-dir runs/
 
-Each run prints the reproduced table/figure in plain text.
+Each run prints the reproduced table/figure in plain text.  With
+``--log-dir`` every experiment additionally appends a structured JSONL
+run log (config, report text, wall-clock) under
+``<log-dir>/<experiment>/`` via :class:`repro.obs.RunLogger`.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional
+
+from ..obs.events import RunLogger
 
 from .concept_shift import run_concept_shift
 from .config import PRESETS, get_preset
@@ -61,6 +68,11 @@ def main(argv: Optional[list] = None) -> int:
         help="scale preset (see repro.experiments.config)",
     )
     parser.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    parser.add_argument(
+        "--log-dir",
+        default=None,
+        help="write a structured JSONL run log per experiment under this directory",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -70,11 +82,26 @@ def main(argv: Optional[list] = None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"=== {name} (preset={args.preset}) ===")
+        run_logger = None
+        if args.log_dir is not None:
+            run_logger = RunLogger(os.path.join(args.log_dir, name))
+            run_logger.log_config({"experiment": name, "preset": args.preset, **config.__dict__})
         started = time.perf_counter()
-        result = EXPERIMENTS[name](config, args.verbose)
+        try:
+            result = EXPERIMENTS[name](config, args.verbose)
+        except Exception as exc:
+            if run_logger is not None:
+                run_logger.log("error", error=repr(exc))
+                run_logger.close(ok=False)
+            raise
         elapsed = time.perf_counter() - started
-        print(result.format_report())
+        report = result.format_report()
+        print(report)
         print(f"[{name} finished in {elapsed:.1f}s]\n")
+        if run_logger is not None:
+            run_logger.log("result", result=result, report=report, wall_seconds=elapsed)
+            run_logger.close(ok=True)
+            print(f"[run log: {run_logger.path}]\n")
     return 0
 
 

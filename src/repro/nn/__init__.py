@@ -30,6 +30,7 @@ from .layers import (
     Dense,
     Dropout,
     Flatten,
+    HookHandle,
     LeakyReLU,
     LogSoftmax,
     MaxPool2D,
@@ -59,6 +60,7 @@ __all__ = [
     "optim",
     "Module",
     "Parameter",
+    "HookHandle",
     "Sequential",
     "Conv2D",
     "ConvTranspose2D",

@@ -1,7 +1,7 @@
 """Neural-network layers for the numpy deep-learning substrate."""
 
 from .activations import LeakyReLU, LogSoftmax, ReLU, Sigmoid, Softmax, Tanh
-from .base import Module, Parameter
+from .base import HookHandle, Module, Parameter
 from .container import Sequential
 from .conv import Conv2D, ConvTranspose2D
 from .dense import Dense, Flatten
@@ -11,6 +11,7 @@ from .regularization import BatchNorm1D, BatchNorm2D, Dropout
 __all__ = [
     "Module",
     "Parameter",
+    "HookHandle",
     "Sequential",
     "Conv2D",
     "ConvTranspose2D",

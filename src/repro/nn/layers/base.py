@@ -8,14 +8,59 @@ PyTorch ``nn.Module`` contract that the reproduction needs.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..tensor import Tensor
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "HookHandle"]
+
+#: Signature of a module hook: ``hook(module, event, seconds)`` where
+#: ``event`` is ``"forward"`` (one call per forward pass) or
+#: ``"backward"`` (one call per tape operation owned by the module).
+ModuleHook = Callable[["Module", str, float], None]
+
+
+class HookHandle:
+    """Detaches a hook registered with :meth:`Module.register_hook`.
+
+    Removing the last hook restores the module's unhooked fast path, so
+    an uninstalled profiler leaves zero per-call overhead behind.
+    """
+
+    def __init__(self, module: "Module", key: int) -> None:
+        self._module = module
+        self._key = key
+
+    def remove(self) -> None:
+        hooks = self._module.__dict__.get("_hooks")
+        if hooks is not None:
+            hooks.pop(self._key, None)
+            if not hooks:
+                object.__setattr__(self._module, "_hooks", None)
+
+    @property
+    def active(self) -> bool:
+        hooks = self._module.__dict__.get("_hooks")
+        return bool(hooks) and self._key in hooks
+
+
+def _timed_backward(
+    fn: Callable[[np.ndarray], None], module: "Module", hooks: tuple
+) -> Callable[[np.ndarray], None]:
+    """Wrap one backward closure so its wall-clock reports to ``hooks``."""
+
+    def timed(grad: np.ndarray) -> None:
+        started = time.perf_counter()
+        fn(grad)
+        elapsed = time.perf_counter() - started
+        for hook in hooks:
+            hook(module, "backward", elapsed)
+
+    return timed
 
 
 class Parameter(Tensor):
@@ -36,6 +81,8 @@ class Module:
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
         self.training = True
+        self._hooks: "Optional[OrderedDict[int, ModuleHook]]" = None
+        self._hook_counter = 0
 
     # ------------------------------------------------------------------
     # Attribute registration
@@ -54,7 +101,75 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if self.__dict__.get("_hooks"):
+            return self._forward_hooked(args, kwargs)
         return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Timing hooks
+    # ------------------------------------------------------------------
+    def register_hook(self, hook: ModuleHook) -> HookHandle:
+        """Attach a forward/backward timing hook to this module.
+
+        ``hook(module, event, seconds)`` is invoked with
+        ``event="forward"`` once per forward pass (wall-clock of the
+        whole :meth:`forward` call), and ``event="backward"`` once per
+        tape operation created by that forward pass when gradients flow
+        back through it.  Summing the backward events therefore yields
+        the module's total backward time.
+
+        Hooks are only consulted on the ``__call__`` path; with no hook
+        registered the forward fast path performs no timing calls.
+        Returns a :class:`HookHandle` whose ``remove()`` detaches it.
+        """
+        if not callable(hook):
+            raise TypeError("hook must be callable")
+        hooks = self.__dict__.get("_hooks")
+        if hooks is None:
+            hooks = OrderedDict()
+            object.__setattr__(self, "_hooks", hooks)
+        key = self.__dict__.get("_hook_counter", 0)
+        object.__setattr__(self, "_hook_counter", key + 1)
+        hooks[key] = hook
+        return HookHandle(self, key)
+
+    def remove_hooks(self) -> None:
+        """Detach every hook registered on this module (not children)."""
+        object.__setattr__(self, "_hooks", None)
+
+    def _forward_hooked(self, args: tuple, kwargs: dict):
+        hooks = tuple(self._hooks.values())
+        started = time.perf_counter()
+        output = self.forward(*args, **kwargs)
+        elapsed = time.perf_counter() - started
+        for hook in hooks:
+            hook(self, "forward", elapsed)
+        self._instrument_backward(args, kwargs, output, hooks)
+        return output
+
+    def _instrument_backward(self, args: tuple, kwargs: dict, output, hooks: tuple) -> None:
+        """Wrap the backward closures of tensors this forward created.
+
+        Walks the tape from the output(s) back to the call's input
+        tensors; every operation in between belongs to this module, so
+        timing its backward closure attributes backward cost here.
+        Under ``no_grad`` the walk terminates immediately (no parents).
+        """
+        stop = {id(a) for a in args if isinstance(a, Tensor)}
+        stop.update(id(v) for v in kwargs.values() if isinstance(v, Tensor))
+        outputs = output if isinstance(output, (tuple, list)) else (output,)
+        stack = [t for t in outputs if isinstance(t, Tensor) and id(t) not in stop]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node._backward is not None:
+                node._backward = _timed_backward(node._backward, self, hooks)
+            for parent in node._parents:
+                if id(parent) not in seen and id(parent) not in stop:
+                    stack.append(parent)
 
     # ------------------------------------------------------------------
     # Parameter traversal

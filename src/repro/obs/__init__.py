@@ -1,0 +1,50 @@
+"""repro.obs — observability for the training/inference stack.
+
+Four pillars, one per module:
+
+* :mod:`repro.obs.metrics` — counters, gauges, streaming histograms in
+  a :class:`MetricsRegistry` (process-global default + injectable);
+* :mod:`repro.obs.events` — structured JSONL run logs via
+  :class:`RunLogger`, round-trippable with :func:`load_run`;
+* :mod:`repro.obs.timing` / :mod:`repro.obs.profile` — hierarchical
+  span timers and per-layer forward/backward profiling built on
+  ``nn.Module.register_hook``;
+* :mod:`repro.obs.monitor` — :class:`SelectiveMonitor`, rolling
+  coverage/abstention telemetry with concept-shift alert hooks.
+
+Everything is opt-in: with no logger attached and no hooks installed
+the training and inference hot paths are unchanged.
+"""
+
+from .events import SCHEMA_VERSION, RunLogger, iter_records, load_run
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from .monitor import CoverageAlert, SelectiveMonitor
+from .profile import LayerProfiler, LayerStats, profile_model
+from .timing import TimerNode, TimerTree
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunLogger",
+    "iter_records",
+    "load_run",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "reset_default_registry",
+    "CoverageAlert",
+    "SelectiveMonitor",
+    "LayerProfiler",
+    "LayerStats",
+    "profile_model",
+    "TimerNode",
+    "TimerTree",
+]

@@ -1,0 +1,133 @@
+"""Hierarchical wall-clock timers.
+
+:class:`TimerTree` measures nested spans of code with
+``with timer.span("name"):`` blocks; nesting builds a tree whose nodes
+accumulate total seconds and call counts.  It is the coarse-grained
+complement to the per-layer hooks in :mod:`repro.obs.profile`: use
+spans for pipeline stages (augmentation, training, calibration) and
+layer hooks for what happens inside a forward/backward pass.
+
+>>> from repro.obs.timing import TimerTree
+>>> timer = TimerTree()
+>>> with timer.span("epoch"):
+...     with timer.span("forward"):
+...         pass
+>>> timer.node("epoch/forward").calls
+1
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TimerNode", "TimerTree"]
+
+
+class TimerNode:
+    """One named span in the timer tree."""
+
+    __slots__ = ("name", "seconds", "calls", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.calls = 0
+        self.children: "Dict[str, TimerNode]" = {}
+
+    def child(self, name: str) -> "TimerNode":
+        node = self.children.get(name)
+        if node is None:
+            node = TimerNode(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def self_seconds(self) -> float:
+        """Time spent in this span minus its timed children."""
+        return self.seconds - sum(c.seconds for c in self.children.values())
+
+
+class TimerTree:
+    """Accumulates nested spans into a tree of :class:`TimerNode`.
+
+    Spans with the same name at the same depth share a node, so a span
+    entered once per batch accumulates across the epoch.  Not
+    thread-safe: one tree per thread of execution.
+    """
+
+    def __init__(self) -> None:
+        self.root = TimerNode("<root>")
+        self._stack: List[TimerNode] = [self.root]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[TimerNode]:
+        """Time a ``with`` block as a child of the innermost open span."""
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        started = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.seconds += time.perf_counter() - started
+            node.calls += 1
+            self._stack.pop()
+
+    def time(self, name: str):
+        """Decorator form: time every call of the wrapped function."""
+
+        def decorate(fn):
+            def wrapper(*args, **kwargs):
+                with self.span(name):
+                    return fn(*args, **kwargs)
+
+            wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+            return wrapper
+
+        return decorate
+
+    # -- inspection ----------------------------------------------------
+    def node(self, path: str) -> TimerNode:
+        """Look up a node by slash-separated path, e.g. ``"epoch/forward"``."""
+        node = self.root
+        for part in path.split("/"):
+            if part not in node.children:
+                raise KeyError(f"no span {path!r} (missing {part!r})")
+            node = node.children[part]
+        return node
+
+    def flatten(self) -> List[Tuple[str, TimerNode]]:
+        """All nodes as ``(path, node)`` pairs, depth-first."""
+        result: List[Tuple[str, TimerNode]] = []
+
+        def walk(node: TimerNode, prefix: str) -> None:
+            for name, child in node.children.items():
+                path = f"{prefix}{name}"
+                result.append((path, child))
+                walk(child, f"{path}/")
+
+        walk(self.root, "")
+        return result
+
+    def reset(self) -> None:
+        self.root = TimerNode("<root>")
+        self._stack = [self.root]
+
+    def format_report(self, min_seconds: float = 0.0) -> str:
+        """Indented table of spans: total, self, calls."""
+        lines = [f"{'span':<40} {'total_s':>10} {'self_s':>10} {'calls':>8}"]
+        lines.append("-" * len(lines[0]))
+
+        def walk(node: TimerNode, depth: int) -> None:
+            for child in node.children.values():
+                if child.seconds >= min_seconds:
+                    label = "  " * depth + child.name
+                    lines.append(
+                        f"{label:<40} {child.seconds:>10.4f} "
+                        f"{child.self_seconds:>10.4f} {child.calls:>8d}"
+                    )
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)

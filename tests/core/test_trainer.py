@@ -200,3 +200,51 @@ class TestGradClipAndEarlyStopping:
         )
         history = trainer.fit(blob_dataset(n_per_class=4))
         assert len(history.epochs) == 4
+
+
+class TestObservability:
+    def test_empty_validation_set_scores_zero_instead_of_crashing(self):
+        model = WaferCNN(num_classes=2, config=small_backbone())
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=8))
+        empty = WaferDataset(
+            np.empty((0, 16, 16), dtype=np.uint8), np.empty(0, dtype=int), ("A", "B")
+        )
+        history = trainer.fit(blob_dataset(n_per_class=4), validation=empty)
+        assert history.final.val_accuracy == 0.0
+
+    def test_grad_norm_recorded_per_epoch(self):
+        model = WaferCNN(num_classes=2, config=small_backbone())
+        trainer = Trainer(model, TrainConfig(epochs=2, batch_size=8))
+        history = trainer.fit(blob_dataset(n_per_class=4))
+        assert all(e.grad_norm is not None and e.grad_norm > 0 for e in history.epochs)
+
+    def test_verbose_routes_through_repro_trainer_logger(self, caplog):
+        import logging
+
+        model = WaferCNN(num_classes=2, config=small_backbone())
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=8, verbose=True))
+        with caplog.at_level(logging.INFO, logger="repro.trainer"):
+            trainer.fit(blob_dataset(n_per_class=4))
+        records = [r for r in caplog.records if r.name == "repro.trainer"]
+        assert records and "loss=" in records[0].getMessage()
+
+    def test_non_verbose_emits_no_output(self, capsys):
+        model = WaferCNN(num_classes=2, config=small_backbone())
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=8))
+        trainer.fit(blob_dataset(n_per_class=4))
+        captured = capsys.readouterr()
+        assert captured.out == ""
+
+    def test_run_logger_receives_config_epochs_and_summary(self, tmp_path):
+        from repro.obs.events import RunLogger, load_run
+
+        model = WaferCNN(num_classes=2, config=small_backbone())
+        with RunLogger(str(tmp_path / "run")) as run_logger:
+            trainer = Trainer(
+                model, TrainConfig(epochs=2, batch_size=8), run_logger=run_logger
+            )
+            trainer.fit(blob_dataset(n_per_class=4))
+        types = [r["type"] for r in load_run(str(tmp_path / "run"))]
+        assert types == [
+            "run_start", "config", "epoch", "epoch", "train_summary", "run_end",
+        ]

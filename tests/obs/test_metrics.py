@@ -1,0 +1,102 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        counter = MetricsRegistry().counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("coverage")
+        gauge.set(0.5)
+        gauge.add(-0.2)
+        assert gauge.value == pytest.approx(0.3)
+
+
+class TestHistogram:
+    def test_quantiles_exact_below_reservoir_size(self):
+        hist = Histogram("latency", reservoir_size=4096)
+        hist.observe_many(range(1, 1001))
+        assert hist.quantile(0.50) == pytest.approx(500.5)
+        assert hist.quantile(0.95) == pytest.approx(950.05)
+        assert hist.quantile(0.99) == pytest.approx(990.01)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 1000.0
+
+    def test_count_sum_min_max_are_exact_beyond_reservoir(self):
+        hist = Histogram("latency", reservoir_size=64)
+        hist.observe_many(range(1, 1001))
+        assert hist.count == 1000
+        assert hist.sum == pytest.approx(500500.0)
+        snap = hist.snapshot()
+        assert snap["min"] == 1.0 and snap["max"] == 1000.0
+        assert snap["mean"] == pytest.approx(500.5)
+
+    def test_reservoir_quantiles_approximate_beyond_capacity(self):
+        hist = Histogram("latency", reservoir_size=512)
+        hist.observe_many(range(10_000))
+        # Uniform sample of a uniform stream: p50 within 10% of truth.
+        assert abs(hist.quantile(0.5) - 5000) < 1000
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("empty").snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0
+        assert snap["min"] == 0.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_name_collision_across_types_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert registry.names() == ["c", "g", "h"]
+
+    def test_default_registry_is_process_global(self):
+        reset_default_registry()
+        try:
+            default_registry().counter("shared").inc()
+            assert default_registry().counter("shared").value == 1
+        finally:
+            reset_default_registry()

@@ -1,0 +1,160 @@
+"""Tests for the selective coverage monitor and its alert hook."""
+
+import numpy as np
+import pytest
+
+from repro.core.cnn import BackboneConfig
+from repro.core.pipeline import SelectiveWaferClassifier
+from repro.core.selective import ABSTAIN, SelectiveNet, SelectivePrediction
+from repro.core.trainer import TrainConfig
+from repro.data import generate_dataset
+from repro.data.dataset import stratified_split
+from repro.experiments.concept_shift import make_shifted_dataset
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import CoverageAlert, SelectiveMonitor
+
+
+def synthetic_prediction(accepted_mask, labels=None):
+    """Build a SelectivePrediction with a given acceptance pattern."""
+    accepted = np.asarray(accepted_mask, dtype=bool)
+    n = accepted.size
+    raw = np.zeros(n, dtype=np.int64) if labels is None else np.asarray(labels)
+    return SelectivePrediction(
+        labels=np.where(accepted, raw, ABSTAIN),
+        raw_labels=raw,
+        selection_scores=np.where(accepted, 1.0, -1.0).astype(np.float32),
+        accepted=accepted,
+        probabilities=np.full((n, 2), 0.5, dtype=np.float32),
+    )
+
+
+def tiny_net():
+    config = BackboneConfig(
+        input_size=16, conv_channels=(4,), conv_kernels=(3,), fc_units=8, seed=0
+    )
+    return SelectiveNet(num_classes=2, config=config)
+
+
+class TestRollingStats:
+    def test_rolling_coverage_tracks_window(self):
+        monitor = SelectiveMonitor(
+            tiny_net(), min_coverage=0.1, window=10, min_samples=1,
+            registry=MetricsRegistry(),
+        )
+        monitor.observe(synthetic_prediction([True] * 10))
+        assert monitor.rolling_coverage == 1.0
+        monitor.observe(synthetic_prediction([False] * 10))
+        # Window fully replaced by abstentions.
+        assert monitor.rolling_coverage == 0.0
+        assert monitor.abstention_rate == pytest.approx(0.5)
+
+    def test_per_class_and_counter_metrics_published(self):
+        registry = MetricsRegistry()
+        monitor = SelectiveMonitor(
+            tiny_net(), min_coverage=0.1, window=16, min_samples=1,
+            class_names=("Dark", "Bright"), registry=registry,
+        )
+        monitor.observe(synthetic_prediction([True, True, False], labels=[0, 1, 1]))
+        snap = registry.snapshot()
+        assert snap["counters"]["selective.samples"] == 3
+        assert snap["counters"]["selective.abstained"] == 1
+        assert snap["counters"]["selective.accepted.Dark"] == 1
+        assert snap["counters"]["selective.accepted.Bright"] == 1
+        assert snap["gauges"]["selective.rolling_coverage"] == pytest.approx(2 / 3)
+
+
+class TestAlerting:
+    def make_monitor(self, **kwargs):
+        defaults = dict(
+            min_coverage=0.5, window=20, min_samples=10, registry=MetricsRegistry()
+        )
+        defaults.update(kwargs)
+        return SelectiveMonitor(tiny_net(), **defaults)
+
+    def test_alert_fires_on_downward_crossing(self):
+        monitor = self.make_monitor()
+        fired = []
+        monitor.on_alert(fired.append)
+        monitor.observe(synthetic_prediction([True] * 20))
+        assert fired == []
+        monitor.observe(synthetic_prediction([False] * 20))
+        assert len(fired) == 1
+        alert = fired[0]
+        assert isinstance(alert, CoverageAlert)
+        assert alert.rolling_coverage < 0.5
+        assert "coverage alert" in str(alert)
+
+    def test_sustained_collapse_fires_once_then_rearms(self):
+        monitor = self.make_monitor()
+        fired = []
+        monitor.on_alert(fired.append)
+        monitor.observe(synthetic_prediction([False] * 20))
+        monitor.observe(synthetic_prediction([False] * 20))
+        assert len(fired) == 1
+        monitor.observe(synthetic_prediction([True] * 20))   # recovery re-arms
+        monitor.observe(synthetic_prediction([False] * 20))  # second collapse
+        assert len(fired) == 2
+
+    def test_no_alert_before_min_samples(self):
+        monitor = self.make_monitor(min_samples=100)
+        fired = []
+        monitor.on_alert(fired.append)
+        monitor.observe(synthetic_prediction([False] * 20))
+        assert fired == []
+
+    def test_alert_recorded_in_run_logger(self, tmp_path):
+        from repro.obs.events import RunLogger, load_run
+
+        with RunLogger(str(tmp_path / "r")) as run_logger:
+            monitor = self.make_monitor(run_logger=run_logger)
+            monitor.observe(synthetic_prediction([False] * 20))
+        alerts = [r for r in load_run(str(tmp_path / "r")) if r["type"] == "alert"]
+        assert len(alerts) == 1
+        assert alerts[0]["data"]["min_coverage"] == 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            self.make_monitor(min_coverage=0.0)
+        with pytest.raises(ValueError):
+            self.make_monitor(window=0)
+        with pytest.raises(TypeError):
+            self.make_monitor().on_alert("not callable")
+
+
+class TestConceptShiftIntegration:
+    def test_alert_fires_on_shifted_batch(self):
+        """End-to-end: trained SelectiveNet, clean batch quiet, shifted loud."""
+        counts = {"Center": 16, "Edge-Ring": 16, "None": 48}
+        dataset = generate_dataset(counts, size=16, seed=3)
+        rng = np.random.default_rng(3)
+        train, validation, test = stratified_split(dataset, [0.6, 0.2, 0.2], rng)
+        classifier = SelectiveWaferClassifier(
+            target_coverage=0.5,
+            backbone=BackboneConfig(
+                input_size=16, conv_channels=(8, 8), conv_kernels=(3, 3),
+                fc_units=16, seed=3,
+            ),
+            train=TrainConfig(epochs=8, batch_size=16, seed=3),
+        )
+        classifier.fit(train, validation=validation, calibrate=True)
+
+        monitor = SelectiveMonitor(
+            classifier.model,
+            min_coverage=0.3,
+            window=64,
+            min_samples=8,
+            registry=MetricsRegistry(),
+        )
+        fired = []
+        monitor.on_alert(fired.append)
+
+        monitor.predict(test.tensors())
+        clean_alerts = len(fired)
+
+        shifted = make_shifted_dataset(test.class_counts(), size=16, seed=999)
+        monitor.predict(shifted.tensors())
+        monitor.predict(shifted.tensors())
+        assert len(fired) > clean_alerts, (
+            f"shifted batch did not trip the alert "
+            f"(rolling coverage {monitor.rolling_coverage:.2f})"
+        )

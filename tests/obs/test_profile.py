@@ -1,0 +1,131 @@
+"""Tests for Module.register_hook and the per-layer profiler."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.cnn import BackboneConfig, WaferCNN
+from repro.obs.profile import LayerProfiler, profile_model
+
+
+def small_sequential(rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Dense(8, 16, rng=rng),
+        nn.ReLU(),
+        nn.Dense(16, 4, rng=rng),
+    )
+
+
+class TestRegisterHook:
+    def test_forward_event_fires_once_per_call(self):
+        model = small_sequential()
+        events = []
+        handle = model[0].register_hook(lambda m, e, s: events.append((m, e, s)))
+        model(nn.Tensor(np.ones((2, 8), dtype=np.float32)))
+        forwards = [e for e in events if e[1] == "forward"]
+        assert len(forwards) == 1
+        assert forwards[0][0] is model[0]
+        assert forwards[0][2] >= 0.0
+        handle.remove()
+
+    def test_backward_events_fire_on_backward(self):
+        model = small_sequential()
+        events = []
+        model[0].register_hook(lambda m, e, s: events.append(e))
+        out = model(nn.Tensor(np.ones((2, 8), dtype=np.float32)))
+        out.sum().backward()
+        assert "backward" in events
+
+    def test_remove_restores_fast_path(self):
+        model = small_sequential()
+        events = []
+        handle = model[0].register_hook(lambda m, e, s: events.append(e))
+        assert handle.active
+        handle.remove()
+        assert not handle.active
+        assert model[0].__dict__.get("_hooks") is None
+        model(nn.Tensor(np.ones((2, 8), dtype=np.float32)))
+        assert events == []
+
+    def test_remove_is_idempotent_and_keeps_other_hooks(self):
+        model = small_sequential()
+        first, second = [], []
+        handle_a = model[0].register_hook(lambda m, e, s: first.append(e))
+        handle_b = model[0].register_hook(lambda m, e, s: second.append(e))
+        handle_a.remove()
+        handle_a.remove()
+        assert handle_b.active
+        model(nn.Tensor(np.ones((2, 8), dtype=np.float32)))
+        assert first == [] and len(second) == 1
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            small_sequential().register_hook("nope")
+
+    def test_no_grad_forward_still_times_forward_only(self):
+        model = small_sequential()
+        events = []
+        model[0].register_hook(lambda m, e, s: events.append(e))
+        with nn.no_grad():
+            model(nn.Tensor(np.ones((2, 8), dtype=np.float32)))
+        assert events == ["forward"]
+
+
+class TestLayerProfiler:
+    def test_install_remove_on_sequential(self):
+        model = small_sequential()
+        profiler = LayerProfiler().install(model)
+        assert [s.module_type for s in profiler.layers] == ["Dense", "ReLU", "Dense"]
+        profiler.remove()
+        for layer in model:
+            assert layer.__dict__.get("_hooks") is None
+
+    def test_wafercnn_conv_dense_layers_report_nonzero_both_ways(self):
+        config = BackboneConfig(
+            input_size=16, conv_channels=(4, 4), conv_kernels=(3, 3), fc_units=8, seed=0
+        )
+        model = WaferCNN(num_classes=3, config=config)
+        x = nn.Tensor(
+            np.random.default_rng(0).normal(size=(4, 1, 16, 16)).astype(np.float32)
+        )
+        with profile_model(model) as profiler:
+            loss = nn.cross_entropy(model(x), np.array([0, 1, 2, 0]))
+            loss.backward()
+        hot = [s for s in profiler.layers if s.module_type in ("Conv2D", "Dense")]
+        assert len(hot) == 4  # 2 convs + backbone FC + head
+        for stats in hot:
+            assert stats.forward_seconds > 0.0, stats.name
+            assert stats.backward_seconds > 0.0, stats.name
+            assert stats.forward_calls == 1
+            assert stats.backward_ops >= 1
+
+    def test_accumulates_across_calls_and_resets(self):
+        model = small_sequential()
+        profiler = LayerProfiler().install(model)
+        x = nn.Tensor(np.ones((2, 8), dtype=np.float32))
+        model(x)
+        model(x)
+        assert profiler.layers[0].forward_calls == 2
+        profiler.reset()
+        assert profiler.layers[0].forward_calls == 0
+        assert profiler.total_seconds() == 0.0
+        profiler.remove()
+
+    def test_format_table_lists_all_layers(self):
+        model = small_sequential()
+        with LayerProfiler().attach(model) as profiler:
+            model(nn.Tensor(np.ones((2, 8), dtype=np.float32)))
+        table = profiler.format_table()
+        assert "Dense" in table and "ReLU" in table and "TOTAL" in table
+
+    def test_as_records_round_trips_through_run_logger(self, tmp_path):
+        from repro.obs.events import RunLogger, load_run
+
+        model = small_sequential()
+        with LayerProfiler().attach(model) as profiler:
+            model(nn.Tensor(np.ones((2, 8), dtype=np.float32)))
+        with RunLogger(str(tmp_path / "r")) as logger:
+            logger.log("profile", layers=profiler.as_records())
+        loaded = [r for r in load_run(str(tmp_path / "r")) if r["type"] == "profile"][0]
+        assert len(loaded["data"]["layers"]) == 3

@@ -1,0 +1,78 @@
+"""Tests for hierarchical timer trees."""
+
+import pytest
+
+from repro.obs.timing import TimerTree
+
+
+class TestTimerTree:
+    def test_nested_spans_build_a_tree(self):
+        timer = TimerTree()
+        with timer.span("epoch"):
+            with timer.span("forward"):
+                pass
+            with timer.span("backward"):
+                pass
+        epoch = timer.node("epoch")
+        assert set(epoch.children) == {"forward", "backward"}
+        assert timer.node("epoch/forward").calls == 1
+
+    def test_repeated_spans_accumulate(self):
+        timer = TimerTree()
+        for _ in range(3):
+            with timer.span("batch"):
+                pass
+        assert timer.node("batch").calls == 3
+        assert timer.node("batch").seconds >= 0.0
+
+    def test_self_seconds_excludes_children(self):
+        timer = TimerTree()
+        with timer.span("outer"):
+            with timer.span("inner"):
+                sum(range(10_000))
+        outer = timer.node("outer")
+        assert outer.self_seconds == pytest.approx(
+            outer.seconds - outer.children["inner"].seconds
+        )
+
+    def test_decorator_times_calls(self):
+        timer = TimerTree()
+
+        @timer.time("work")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert timer.node("work").calls == 1
+
+    def test_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            TimerTree().node("nope")
+
+    def test_flatten_and_report(self):
+        timer = TimerTree()
+        with timer.span("a"):
+            with timer.span("b"):
+                pass
+        paths = [path for path, _ in timer.flatten()]
+        assert paths == ["a", "a/b"]
+        report = timer.format_report()
+        assert "a" in report and "b" in report
+
+    def test_reset(self):
+        timer = TimerTree()
+        with timer.span("a"):
+            pass
+        timer.reset()
+        assert timer.flatten() == []
+
+    def test_exception_still_closes_span(self):
+        timer = TimerTree()
+        with pytest.raises(RuntimeError):
+            with timer.span("risky"):
+                raise RuntimeError("boom")
+        assert timer.node("risky").calls == 1
+        # The stack unwound: a new span is a sibling, not a child.
+        with timer.span("after"):
+            pass
+        assert set(timer.root.children) == {"risky", "after"}
