@@ -1,9 +1,11 @@
 # Developer entry points.  `make check` is the fast gate (tier-1 tests
-# + compileall); `make bench` regenerates every paper artifact.
+# + compileall + perf smoke); `make bench` regenerates every paper
+# artifact; `make bench-perf` refreshes the committed BENCH_*.json
+# wall-clock baselines.
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test bench profile clean
+.PHONY: check test bench bench-perf profile clean
 
 check:
 	sh scripts/check.sh
@@ -13,6 +15,9 @@ test:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q
+
+bench-perf:
+	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --out-dir benchmarks/perf
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q -s --profile

@@ -1,0 +1,27 @@
+"""Wall-clock micro-benchmarks for the repro.nn inference fast path.
+
+Unlike the artifact benchmarks one directory up (which regenerate paper
+tables), this package measures *performance*: conv forward kernels, the
+Table-I CNN forward on the reference tape path vs. the
+:class:`~repro.nn.tensor.inference_mode` fast path, SelectiveNet
+end-to-end prediction, and one training epoch.
+
+Run it as a module::
+
+    PYTHONPATH=src python -m benchmarks.perf --out-dir benchmarks/perf
+
+which writes schema-versioned ``BENCH_infer.json`` and
+``BENCH_train.json`` (see :mod:`benchmarks.perf.harness` for the
+schema).  ``--smoke`` shrinks every workload so the whole run finishes
+in seconds — that tier is wired into ``scripts/check.sh``.
+"""
+
+from .harness import BENCH_SCHEMA_VERSION, CaseResult, machine_info, run_case, write_suite
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "CaseResult",
+    "machine_info",
+    "run_case",
+    "write_suite",
+]

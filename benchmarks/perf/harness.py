@@ -1,0 +1,130 @@
+"""Timing harness and the ``BENCH_*.json`` schema.
+
+Schema (version 1) — each suite file is one JSON object:
+
+* ``schema``: integer schema version (:data:`BENCH_SCHEMA_VERSION`);
+* ``suite``: suite name (``"infer"`` or ``"train"``);
+* ``created_unix``: unix timestamp (float seconds) of the write;
+* ``smoke``: whether the run used the shrunken smoke workloads;
+* ``machine``: platform / python / numpy / cpu description;
+* ``cases``: list of case objects, each with
+
+  - ``name``: unique case identifier within the suite;
+  - ``repeats``: number of timed repetitions (after warmup);
+  - ``wall_s_median`` / ``wall_s_min``: wall-clock seconds per call;
+  - ``params``: the workload parameters (shapes, batch size, ...);
+  - ``metrics``: derived numbers (throughput, speedup, ...).
+
+Payload sanitization reuses the ``repro.obs`` JSONL machinery so numpy
+scalars and tuples serialize identically to run logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.obs.events import _json_safe
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "CaseResult",
+    "time_callable",
+    "run_case",
+    "machine_info",
+    "write_suite",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CaseResult:
+    """Timing result of one benchmark case."""
+
+    name: str
+    repeats: int
+    wall_s_median: float
+    wall_s_min: float
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def as_record(self) -> Dict[str, Any]:
+        return _json_safe(
+            {
+                "name": self.name,
+                "repeats": self.repeats,
+                "wall_s_median": self.wall_s_median,
+                "wall_s_min": self.wall_s_min,
+                "params": self.params,
+                "metrics": self.metrics,
+            }
+        )
+
+
+def time_callable(fn: Callable[[], Any], repeats: int = 5, warmup: int = 1) -> List[float]:
+    """Wall-clock times (seconds) of ``repeats`` calls after ``warmup``."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return times
+
+
+def run_case(
+    name: str,
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+    params: Optional[Dict[str, Any]] = None,
+    metrics: Optional[Dict[str, float]] = None,
+) -> CaseResult:
+    """Time ``fn`` and package the result as a :class:`CaseResult`."""
+    times = time_callable(fn, repeats=repeats, warmup=warmup)
+    return CaseResult(
+        name=name,
+        repeats=repeats,
+        wall_s_median=float(np.median(times)),
+        wall_s_min=float(min(times)),
+        params=dict(params or {}),
+        metrics=dict(metrics or {}),
+    )
+
+
+def machine_info() -> Dict[str, Any]:
+    """Where the numbers came from — needed to compare across runs."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_suite(out_path: str, suite: str, cases: List[CaseResult], smoke: bool = False) -> str:
+    """Write one ``BENCH_<suite>.json`` file; returns the path written."""
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "created_unix": time.time(),
+        "smoke": smoke,
+        "machine": machine_info(),
+        "cases": [case.as_record() for case in cases],
+    }
+    directory = os.path.dirname(out_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return out_path

@@ -15,4 +15,11 @@ python -m compileall -q src examples benchmarks scripts
 echo "== pytest (tier 1) =="
 python -m pytest -x -q
 
+echo "== perf benchmark smoke =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+python -m benchmarks.perf --smoke --out-dir "$smoke_dir"
+test -s "$smoke_dir/BENCH_infer.json"
+test -s "$smoke_dir/BENCH_train.json"
+
 echo "check: OK"

@@ -100,39 +100,38 @@ class ConvAutoencoder(nn.Module):
         return self.decode(self.encode(x))
 
     # ------------------------------------------------------------------
-    def reconstruct(self, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
-        """Batched inference returning reconstructions as a numpy array."""
-        outputs = []
-        with nn.no_grad():
+    def _stream(self, fn, inputs: np.ndarray, item_shape: Tuple[int, ...],
+                batch_size: int) -> np.ndarray:
+        """Run ``fn`` chunk-wise on the inference fast path.
+
+        Writes into a preallocated ``(N,) + item_shape`` output so peak
+        memory stays fixed regardless of ``len(inputs)``.
+        """
+        count = len(inputs)
+        dtype = next(iter(self.parameters())).dtype
+        out = np.empty((count,) + item_shape, dtype=dtype)
+        with nn.inference_mode():
             was_training = self.training
             self.eval()
-            for start in range(0, len(inputs), batch_size):
-                outputs.append(self.forward(nn.Tensor(inputs[start:start + batch_size])).data)
+            for start in range(0, count, batch_size):
+                stop = min(start + batch_size, count)
+                out[start:stop] = fn(nn.Tensor(inputs[start:stop])).data
             self.train(was_training)
-        return np.concatenate(outputs) if outputs else np.empty((0,) + inputs.shape[1:])
+        return out
+
+    def reconstruct(self, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Batched inference returning reconstructions as a numpy array."""
+        size = self.config.input_size
+        return self._stream(self.forward, inputs, (1, size, size), batch_size)
 
     def encode_numpy(self, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
         """Batched latent extraction (Algorithm 1, line 3)."""
-        outputs = []
-        with nn.no_grad():
-            was_training = self.training
-            self.eval()
-            for start in range(0, len(inputs), batch_size):
-                outputs.append(self.encode(nn.Tensor(inputs[start:start + batch_size])).data)
-            self.train(was_training)
-        return np.concatenate(outputs) if outputs else np.empty((0,) + self.config.latent_shape)
+        return self._stream(self.encode, inputs, self.config.latent_shape, batch_size)
 
     def decode_numpy(self, latents: np.ndarray, batch_size: int = 128) -> np.ndarray:
         """Batched decoding (Algorithm 1, line 6)."""
-        outputs = []
-        with nn.no_grad():
-            was_training = self.training
-            self.eval()
-            for start in range(0, len(latents), batch_size):
-                outputs.append(self.decode(nn.Tensor(latents[start:start + batch_size])).data)
-            self.train(was_training)
         size = self.config.input_size
-        return np.concatenate(outputs) if outputs else np.empty((0, 1, size, size))
+        return self._stream(self.decode, latents, (1, size, size), batch_size)
 
 
 def train_autoencoder(

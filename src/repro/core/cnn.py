@@ -117,16 +117,23 @@ class WaferCNN(nn.Module):
         return self.head(self.backbone(x))
 
     def predict_proba(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Softmax class probabilities for a ``(N, 1, H, W)`` array."""
-        outputs = []
-        with nn.no_grad():
+        """Softmax class probabilities for a ``(N, 1, H, W)`` array.
+
+        Streams fixed-size chunks through the
+        :class:`~repro.nn.tensor.inference_mode` fast path into a
+        preallocated output, so peak memory does not grow with ``N``.
+        """
+        count = len(inputs)
+        probabilities = np.empty((count, self.num_classes), dtype=self.head.weight.dtype)
+        with nn.inference_mode():
             was_training = self.training
             self.eval()
-            for start in range(0, len(inputs), batch_size):
-                logits = self.forward(nn.Tensor(inputs[start:start + batch_size]))
-                outputs.append(logits.softmax(axis=-1).data)
+            for start in range(0, count, batch_size):
+                stop = min(start + batch_size, count)
+                logits = self.forward(nn.Tensor(inputs[start:stop]))
+                probabilities[start:stop] = logits.softmax(axis=-1).data
             self.train(was_training)
-        return np.concatenate(outputs) if outputs else np.empty((0, self.num_classes))
+        return probabilities
 
     def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Hard class predictions for a ``(N, 1, H, W)`` array."""

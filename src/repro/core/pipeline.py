@@ -115,16 +115,30 @@ class SelectiveWaferClassifier:
         return self
 
     # ------------------------------------------------------------------
-    def predict(self, inputs: np.ndarray, threshold: Optional[float] = None) -> SelectivePrediction:
-        """Selective inference over ``(N, 1, H, W)`` inputs."""
+    def predict(
+        self,
+        inputs: np.ndarray,
+        threshold: Optional[float] = None,
+        batch_size: int = 256,
+    ) -> SelectivePrediction:
+        """Selective inference over ``(N, 1, H, W)`` inputs.
+
+        Runs chunk-wise (``batch_size`` samples at a time) on the
+        inference fast path, so memory stays fixed for large ``N``.
+        """
         self._require_fitted()
-        return self.model.predict_selective(inputs, threshold=threshold)
+        return self.model.predict_selective(
+            inputs, threshold=threshold, batch_size=batch_size
+        )
 
     def predict_dataset(
-        self, dataset: WaferDataset, threshold: Optional[float] = None
+        self,
+        dataset: WaferDataset,
+        threshold: Optional[float] = None,
+        batch_size: int = 256,
     ) -> SelectivePrediction:
         """Selective inference over a :class:`WaferDataset`."""
-        return self.predict(dataset.tensors(), threshold=threshold)
+        return self.predict(dataset.tensors(), threshold=threshold, batch_size=batch_size)
 
     def _require_fitted(self) -> None:
         if self.model is None:
@@ -163,10 +177,10 @@ class FullCoverageWaferClassifier:
         self.history = trainer.fit(train_data, validation=validation)
         return self
 
-    def predict(self, inputs: np.ndarray) -> np.ndarray:
+    def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("classifier is not fitted; call fit() first")
-        return self.model.predict(inputs)
+        return self.model.predict(inputs, batch_size=batch_size)
 
-    def predict_dataset(self, dataset: WaferDataset) -> np.ndarray:
-        return self.predict(dataset.tensors())
+    def predict_dataset(self, dataset: WaferDataset, batch_size: int = 256) -> np.ndarray:
+        return self.predict(dataset.tensors(), batch_size=batch_size)

@@ -141,25 +141,29 @@ class SelectiveNet(nn.Module):
 
         Selection scores are pre-sigmoid logits (see
         :class:`SelectivePrediction` for why).
+
+        Runs on the :class:`~repro.nn.tensor.inference_mode` fast path
+        with fixed memory: outputs are written into preallocated
+        arrays chunk by chunk, and the per-batch conv scratch buffers
+        are reused across chunks, so peak memory is independent of
+        ``len(inputs)`` (beyond the outputs themselves).
         """
-        probs = []
-        scores = []
-        with nn.no_grad():
+        count = len(inputs)
+        dtype = self.prediction_head.weight.dtype
+        probabilities = np.empty((count, self.num_classes), dtype=dtype)
+        scores = np.empty((count,), dtype=dtype)
+        with nn.inference_mode():
             was_training = self.training
             self.eval()
-            for start in range(0, len(inputs), batch_size):
-                features = self.backbone(nn.Tensor(inputs[start:start + batch_size]))
+            for start in range(0, count, batch_size):
+                stop = min(start + batch_size, count)
+                features = self.backbone(nn.Tensor(inputs[start:stop]))
                 logits = self.prediction_head(features)
                 selection_logit = self.selection_head(features).reshape(-1)
-                probs.append(logits.softmax(axis=-1).data)
-                scores.append(selection_logit.data)
+                probabilities[start:stop] = logits.softmax(axis=-1).data
+                scores[start:stop] = selection_logit.data
             self.train(was_training)
-        if not probs:
-            return (
-                np.empty((0, self.num_classes), dtype=np.float32),
-                np.empty((0,), dtype=np.float32),
-            )
-        return np.concatenate(probs), np.concatenate(scores)
+        return probabilities, scores
 
     def predict_selective(
         self,

@@ -292,13 +292,24 @@ class Trainer:
                 if param.grad is not None:
                     param.grad *= scale
 
-    def _quick_accuracy(self, dataset: WaferDataset) -> float:
+    def _quick_accuracy(self, dataset: WaferDataset, chunk: int = 512) -> float:
+        """Validation accuracy, streamed in fixed-size chunks.
+
+        Chunking bounds peak memory on large validation sets: only one
+        ``chunk``-sized slice of predictions is materialized at a time.
+        """
         if len(dataset) == 0:
             return 0.0
         inputs = dataset.tensors()
-        if isinstance(self.model, SelectiveNet):
-            probabilities, _ = self.model.predict_batched(inputs)
-            predictions = probabilities.argmax(axis=1)
-        else:
-            predictions = self.model.predict(inputs)
-        return float((predictions == dataset.labels).mean())
+        labels = dataset.labels
+        correct = 0
+        for start in range(0, len(inputs), chunk):
+            stop = min(start + chunk, len(inputs))
+            piece = inputs[start:stop]
+            if isinstance(self.model, SelectiveNet):
+                probabilities, _ = self.model.predict_batched(piece)
+                predictions = probabilities.argmax(axis=1)
+            else:
+                predictions = self.model.predict(piece)
+            correct += int((predictions == labels[start:stop]).sum())
+        return correct / len(inputs)

@@ -46,12 +46,28 @@ from .layers import (
 from .losses import binary_cross_entropy, cross_entropy, mse_loss, nll_loss, one_hot
 from .optim import SGD, Adam, ConstantLR, CosineLR, ExponentialLR, RMSProp, StepLR
 from .serialization import load_model, save_model
-from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (
+    Tensor,
+    concatenate,
+    default_dtype,
+    get_default_dtype,
+    inference_mode,
+    is_grad_enabled,
+    is_inference_mode,
+    no_grad,
+    set_default_dtype,
+    stack,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "stack",
     "concatenate",
     "functional",

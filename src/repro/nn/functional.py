@@ -8,25 +8,44 @@ strategy available in pure numpy.
 
 All spatial tensors use the NCHW layout: ``(batch, channels, height,
 width)``.
+
+Every operator has two execution paths:
+
+* the **reference tape path**, taken whenever gradients must flow
+  (grad enabled and some input requires grad): allocates fresh arrays
+  and wires a backward closure into the tape;
+* the **inference fast path**, taken otherwise: builds no closures,
+  skips backward-only bookkeeping (pooling argmax), and — inside
+  :class:`~repro.nn.tensor.inference_mode` — reuses process-wide
+  im2col/GEMM scratch buffers so a steady-state serving loop performs
+  no large allocations per batch.
+
+The two paths are numerically equivalent (pinned by
+``tests/nn/test_parity.py``); scratch buffers never escape an
+operator, so returned arrays are always freshly owned.
 """
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled, is_inference_mode
 
 __all__ = [
     "im2col",
     "col2im",
     "conv2d",
+    "conv2d_relu",
+    "conv2d_relu_pool",
     "conv_transpose2d",
     "max_pool2d",
     "avg_pool2d",
     "upsample2d",
     "conv_output_size",
+    "clear_scratch",
+    "scratch_nbytes",
 ]
 
 IntPair = Union[int, Tuple[int, int]]
@@ -36,6 +55,55 @@ def _pair(value: IntPair) -> Tuple[int, int]:
     if isinstance(value, tuple):
         return value
     return (value, value)
+
+
+def _recording(*tensors: Optional[Tensor]) -> bool:
+    """Whether an op over ``tensors`` must build backward closures."""
+    return is_grad_enabled() and any(
+        t is not None and t.requires_grad for t in tensors
+    )
+
+
+class _ScratchPool:
+    """Reusable scratch arrays keyed by ``(shape, dtype)``.
+
+    Only consulted on the inference fast path, and only for buffers
+    that are fully consumed before the operator returns (im2col column
+    matrices, GEMM outputs, padded images).  Returned tensors always
+    own fresh memory, so a buffer can be handed out again on the very
+    next call without aliasing anything the caller can still see.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[Tuple[int, ...], str], np.ndarray] = {}
+
+    def get(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (shape, np.dtype(dtype).str)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+_scratch = _ScratchPool()
+
+
+def clear_scratch() -> None:
+    """Release every cached inference scratch buffer."""
+    _scratch.clear()
+
+
+def scratch_nbytes() -> int:
+    """Total bytes currently held by the inference scratch pool."""
+    return _scratch.nbytes
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -120,6 +188,126 @@ def col2im(
     return padded
 
 
+def _strided_windows(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """Read-only sliding-window view ``(N, C, oh, ow, kh, kw)`` of ``x``."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    strides = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * sh,
+            strides[3] * sw,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+
+
+def _pad_input(
+    x: np.ndarray, padding: Tuple[int, int], pool: Optional[_ScratchPool]
+) -> np.ndarray:
+    """Zero-pad NCHW input, through scratch when a pool is provided."""
+    ph, pw = padding
+    if not (ph or pw):
+        return x
+    if pool is None:
+        return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    n, c, h, w = x.shape
+    padded = pool.get((n, c, h + 2 * ph, w + 2 * pw), x.dtype)
+    padded.fill(0)
+    padded[:, :, ph:ph + h, pw:pw + w] = x
+    return padded
+
+
+def _pool_max_slices(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """Window max via ``kh*kw`` strided-slice ``np.maximum`` passes.
+
+    An order of magnitude faster than reducing over the trailing axes
+    of an ``as_strided`` window view, which numpy executes as a slow
+    small-stride gather.  Works on NCHW (spatial = last two axes).
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = (x.shape[2] - kh) // sh + 1
+    out_w = (x.shape[3] - kw) // sw + 1
+    result: Optional[np.ndarray] = None
+    for i in range(kh):
+        for j in range(kw):
+            piece = x[:, :, i:i + out_h * sh:sh, j:j + out_w * sw:sw]
+            if result is None:
+                result = np.ascontiguousarray(piece)
+            else:
+                np.maximum(result, piece, out=result)
+    return result
+
+
+def _conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    activation: Optional[str] = None,
+    pool_kernel: Optional[Tuple[int, int]] = None,
+) -> np.ndarray:
+    """Tape-free convolution forward, optionally fused with bias+ReLU
+    and a non-overlapping max-pool.
+
+    Under :func:`~repro.nn.tensor.is_inference_mode`, the im2col column
+    matrix and the GEMM output live in the scratch pool; bias add and
+    ReLU run in place on the GEMM output.  A fused ``pool_kernel``
+    (stride == kernel, evenly dividing the conv output) is applied in
+    the GEMM's natural NHWC layout, so only the pooled result — 1/4th
+    of the activation for a 2x2 pool — pays the transpose back to NCHW.
+    The returned NCHW array is always a fresh contiguous copy.
+    """
+    pool = _scratch if is_inference_mode() else None
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    sh, sw = stride
+    out_h = conv_output_size(h, kh, sh, padding[0])
+    out_w = conv_output_size(w, kw, sw, padding[1])
+
+    padded = _pad_input(x, padding, pool)
+    windows = _strided_windows(padded, (kh, kw), stride)
+    rows, features = n * out_h * out_w, c_in * kh * kw
+    if pool is None:
+        cols = np.empty((rows, features), dtype=x.dtype)
+        gemm_out = np.empty((rows, c_out), dtype=x.dtype)
+    else:
+        cols = pool.get((rows, features), x.dtype)
+        gemm_out = pool.get((rows, c_out), x.dtype)
+    # (N, oh, ow, C, kh, kw) receptive fields copied straight into scratch.
+    np.copyto(
+        cols.reshape(n, out_h, out_w, c_in, kh, kw),
+        windows.transpose(0, 2, 3, 1, 4, 5),
+    )
+    np.matmul(cols, weight.reshape(c_out, -1).T, out=gemm_out)
+    if bias is not None:
+        gemm_out += bias
+    if activation == "relu":
+        np.maximum(gemm_out, 0, out=gemm_out)
+    if pool_kernel is not None:
+        ph, pw = pool_kernel
+        nhwc = gemm_out.reshape(n, out_h // ph, ph, out_w // pw, pw, c_out)
+        pooled = nhwc.max(axis=(2, 4))
+        return pooled.transpose(0, 3, 1, 2).copy()
+    # Fresh owned NCHW output; scratch never escapes.
+    return gemm_out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2).copy()
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -144,6 +332,13 @@ def conv2d(
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
         raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    if not _recording(x, weight, bias):
+        return Tensor(
+            _conv2d_forward(
+                x.data, weight.data, None if bias is None else bias.data,
+                stride, padding,
+            )
+        )
     out_h = conv_output_size(h, kh, stride[0], padding[0])
     out_w = conv_output_size(w, kw, stride[1], padding[1])
 
@@ -169,6 +364,81 @@ def conv2d(
             x._accumulate(col2im(grad_cols, x.shape, (kh, kw), stride, padding))
 
     return Tensor._make(out_data, parents, backward)
+
+
+def conv2d_relu(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Fused conv → bias → ReLU.
+
+    On the inference fast path the bias add and rectification happen in
+    place on the GEMM output, saving two full activation-sized passes
+    and allocations per layer.  When gradients are required this
+    composes :func:`conv2d` with ``relu()`` so backward stays exact —
+    callers may use it unconditionally.
+    """
+    if _recording(x, weight, bias):
+        return conv2d(x, weight, bias, stride=stride, padding=padding).relu()
+    stride = _pair(stride)
+    padding = _pair(padding)
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[1]}, weight expects {weight.shape[1]}"
+        )
+    return Tensor(
+        _conv2d_forward(
+            x.data, weight.data, None if bias is None else bias.data,
+            stride, padding, activation="relu",
+        )
+    )
+
+
+def conv2d_relu_pool(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+    pool_kernel: IntPair = 2,
+    pool_stride: IntPair = None,
+) -> Tensor:
+    """Fused conv → bias → ReLU → max-pool (the backbone's repeated stage).
+
+    On the inference fast path, pooling runs in the GEMM's natural NHWC
+    layout before the single transpose back to NCHW, so the full-size
+    pre-pool activation never materializes in NCHW at all.  Requires a
+    non-overlapping pool that evenly divides the conv output; callers
+    with other geometry should compose :func:`conv2d_relu` and
+    :func:`max_pool2d` instead (Sequential checks this).  When
+    gradients are required this composes the reference ops, so backward
+    stays exact.
+    """
+    pool_kernel = _pair(pool_kernel)
+    pool_stride = pool_kernel if pool_stride is None else _pair(pool_stride)
+    if pool_stride != pool_kernel:
+        raise ValueError("fused pooling requires pool_stride == pool_kernel")
+    if _recording(x, weight, bias):
+        out = conv2d(x, weight, bias, stride=stride, padding=padding).relu()
+        return max_pool2d(out, pool_kernel, pool_stride)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    out_h = conv_output_size(x.shape[2], weight.shape[2], stride[0], padding[0])
+    out_w = conv_output_size(x.shape[3], weight.shape[3], stride[1], padding[1])
+    if out_h % pool_kernel[0] or out_w % pool_kernel[1]:
+        raise ValueError(
+            f"fused pooling requires the pool {pool_kernel} to evenly divide "
+            f"the conv output ({out_h}, {out_w})"
+        )
+    return Tensor(
+        _conv2d_forward(
+            x.data, weight.data, None if bias is None else bias.data,
+            stride, padding, activation="relu", pool_kernel=pool_kernel,
+        )
+    )
 
 
 def conv_transpose2d(
@@ -200,10 +470,22 @@ def conv_transpose2d(
     out_h = (h - 1) * stride[0] - 2 * padding[0] + kh
     out_w = (w - 1) * stride[1] - 2 * padding[1] + kw
 
+    recording = _recording(x, weight, bias)
+    pool = _scratch if (not recording and is_inference_mode()) else None
     w_mat = weight.data.reshape(c_in, c_out * kh * kw)  # (C_in, C_out*kh*kw)
     x_mat = x.data.transpose(0, 2, 3, 1).reshape(-1, c_in)  # (N*h*w, C_in)
-    cols = x_mat @ w_mat  # (N*h*w, C_out*kh*kw)
+    if pool is None:
+        cols = x_mat @ w_mat  # (N*h*w, C_out*kh*kw)
+    else:
+        cols = pool.get((x_mat.shape[0], c_out * kh * kw), x.data.dtype)
+        np.matmul(x_mat, w_mat, out=cols)
     out_data = col2im(cols, (n, c_out, out_h, out_w), (kh, kw), stride, padding)
+    if not recording:
+        if padding != (0, 0):
+            out_data = np.ascontiguousarray(out_data)
+        if bias is not None:
+            out_data += bias.data.reshape(1, c_out, 1, 1)
+        return Tensor(out_data)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
 
@@ -240,20 +522,11 @@ def max_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor
     out_h = (h - kh) // sh + 1
     out_w = (w - kw) // sw + 1
 
-    strides = x.data.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * sh,
-            strides[3] * sw,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
+    if not _recording(x):
+        # Fast path: slice-wise window max, no argmax bookkeeping (only
+        # backward needs the winner coordinates).
+        return Tensor(_pool_max_slices(x.data, kernel, stride))
+    windows = _strided_windows(x.data, kernel, stride)
     flat = windows.reshape(n, c, out_h, out_w, kh * kw)
     argmax = flat.argmax(axis=-1)
     out_data = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
@@ -285,22 +558,21 @@ def avg_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor
     out_h = (h - kh) // sh + 1
     out_w = (w - kw) // sw + 1
 
-    strides = x.data.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * sh,
-            strides[3] * sw,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
-    out_data = windows.mean(axis=(-1, -2))
-    scale = 1.0 / (kh * kw)
+    scale = x.data.dtype.type(1.0 / (kh * kw))
+    if not _recording(x):
+        # Fast path: slice-wise accumulation, same rationale as max-pool.
+        total: Optional[np.ndarray] = None
+        for i in range(kh):
+            for j in range(kw):
+                piece = x.data[:, :, i:i + out_h * sh:sh, j:j + out_w * sw:sw]
+                if total is None:
+                    total = np.ascontiguousarray(piece)
+                else:
+                    total += piece
+        total *= scale
+        return Tensor(total)
+    windows = _strided_windows(x.data, kernel, stride)
+    out_data = windows.mean(axis=(-1, -2), dtype=x.data.dtype)
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
@@ -324,6 +596,8 @@ def upsample2d(x: Tensor, scale: int = 2) -> Tensor:
     if scale < 1:
         raise ValueError("scale must be a positive integer")
     out_data = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+    if not _recording(x):
+        return Tensor(out_data)
     n, c, h, w = x.shape
 
     def backward(grad: np.ndarray) -> None:

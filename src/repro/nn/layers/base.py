@@ -209,6 +209,32 @@ class Module:
         return self.train(False)
 
     # ------------------------------------------------------------------
+    # Dtype control
+    # ------------------------------------------------------------------
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter, gradient, and buffer in place to ``dtype``.
+
+        The substrate runs float32 by default; casting to ``np.float64``
+        is the opt-in verification mode (tight gradchecks and parity
+        references — pair it with
+        :class:`~repro.nn.tensor.default_dtype` so inputs and
+        intermediate coercions match).  Returns ``self`` for chaining.
+        """
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise TypeError(f"Module.astype requires a floating dtype, got {dtype}")
+        for param in self.parameters():
+            param.data = param.data.astype(dtype)
+            if param.grad is not None:
+                param.grad = param.grad.astype(dtype)
+        for module in self.modules():
+            buffers = getattr(module, "_buffers", None)
+            if buffers:
+                for name, value in buffers.items():
+                    buffers[name] = value.astype(dtype)
+        return self
+
+    # ------------------------------------------------------------------
     # Gradients
     # ------------------------------------------------------------------
     def zero_grad(self) -> None:

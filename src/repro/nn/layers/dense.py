@@ -7,7 +7,7 @@ from typing import Optional
 import numpy as np
 
 from .. import init as init_module
-from ..tensor import Tensor
+from ..tensor import Tensor, is_grad_enabled
 from .base import Module, Parameter
 
 __all__ = ["Dense", "Flatten"]
@@ -52,6 +52,12 @@ class Dense(Module):
             raise ValueError(
                 f"Dense expected last dim {self.in_features}, got input shape {x.shape}"
             )
+        if not (is_grad_enabled() and (x.requires_grad or self.weight.requires_grad)):
+            # Fast path: one GEMM, bias added in place, no tape nodes.
+            out = x.data @ self.weight.data
+            if self.bias is not None:
+                out += self.bias.data
+            return Tensor(out)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

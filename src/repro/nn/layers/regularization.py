@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, is_grad_enabled
 from .base import Module, Parameter
 
 __all__ = ["Dropout", "BatchNorm2D", "BatchNorm1D"]
@@ -70,9 +70,17 @@ class _BatchNormBase(Module):
             var_t = (centered * centered).mean(axis=axes, keepdims=True)
             normed = centered * ((var_t + self.eps) ** -0.5)
         else:
-            mean = self._buffers["running_mean"].reshape(shape)
-            var = self._buffers["running_var"].reshape(shape)
-            normed = (x - Tensor(mean)) * Tensor((var + self.eps) ** -0.5)
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+            if not (is_grad_enabled() and (x.requires_grad or self.gamma.requires_grad)):
+                # Fast path: fold running stats and the affine transform
+                # into one per-feature scale/shift, applied in two passes.
+                scale = self.gamma.data * (var + self.eps) ** -0.5
+                shift = self.beta.data - mean * scale
+                return Tensor(x.data * scale.reshape(shape) + shift.reshape(shape))
+            normed = (x - Tensor(mean.reshape(shape))) * Tensor(
+                (var.reshape(shape) + self.eps) ** -0.5
+            )
         return normed * self.gamma.reshape(shape) + self.beta.reshape(shape)
 
 

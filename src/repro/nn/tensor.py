@@ -36,17 +36,38 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "stack", "concatenate"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "inference_mode",
+    "is_grad_enabled",
+    "is_inference_mode",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "stack",
+    "concatenate",
+]
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
-
-_DEFAULT_DTYPE = np.float32
 
 
 class _GradMode:
     """Process-wide switch that disables tape recording inside ``no_grad``."""
 
     enabled = True
+
+
+class _InferenceMode:
+    """Process-wide switch for the serving fast path (``inference_mode``)."""
+
+    active = False
+
+
+class _DtypeState:
+    """Process-wide default floating dtype for new tensors."""
+
+    dtype = np.dtype(np.float32)
 
 
 class no_grad:
@@ -68,12 +89,89 @@ class no_grad:
         _GradMode.enabled = self._prev
 
 
+class inference_mode(no_grad):
+    """The serving fast path: ``no_grad`` plus layout/fusion optimizations.
+
+    Inside this context, no backward closures are ever constructed, and
+    the spatial operators in :mod:`repro.nn.functional` are allowed to
+
+    * reuse process-wide im2col/col2im scratch buffers instead of
+      allocating fresh ones per call,
+    * fuse conv → bias → ReLU into a single in-place pass
+      (:class:`~repro.nn.layers.container.Sequential` performs the
+      pairing), and
+    * skip the argmax bookkeeping in pooling that only backward needs.
+
+    The numerical results are identical to the reference tape path up
+    to floating-point associativity (the parity tests in
+    ``tests/nn/test_parity.py`` pin this down); only speed and memory
+    behaviour differ.  Every batched ``predict`` in :mod:`repro.core`
+    runs under this context.
+
+    Not thread-safe (like ``no_grad``): the flag is process-global.
+    """
+
+    def __enter__(self) -> "inference_mode":
+        super().__enter__()
+        self._prev_inference = _InferenceMode.active
+        _InferenceMode.active = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _InferenceMode.active = self._prev_inference
+        super().__exit__(*exc)
+
+
 def is_grad_enabled() -> bool:
     """Return whether operations are currently being recorded on the tape."""
     return _GradMode.enabled
 
 
-def _as_array(value: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+def is_inference_mode() -> bool:
+    """Return whether the :class:`inference_mode` fast path is active."""
+    return _InferenceMode.active
+
+
+def get_default_dtype() -> np.dtype:
+    """The floating dtype new tensors are coerced to (float32 unless changed)."""
+    return _DtypeState.dtype
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide default floating dtype for new tensors.
+
+    The substrate runs in float32 by default; float64 is the opt-in
+    verification mode (tight gradchecks, parity references).  Prefer the
+    scoped :class:`default_dtype` context over calling this directly.
+    """
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise TypeError(f"default dtype must be floating, got {dtype}")
+    _DtypeState.dtype = dtype
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype`.
+
+    >>> with default_dtype(np.float64):
+    ...     x = Tensor([1.0])    # doctest: +SKIP
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = np.dtype(dtype)
+
+    def __enter__(self) -> "default_dtype":
+        self._prev = _DtypeState.dtype
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _DtypeState.dtype = self._prev
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if dtype is None:
+        dtype = _DtypeState.dtype
     if isinstance(value, np.ndarray):
         if value.dtype != dtype:
             return value.astype(dtype)
@@ -106,10 +204,13 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float32`` by default.
+        Array-like payload; converted to the default floating dtype
+        (float32 unless changed via :func:`default_dtype`).
     requires_grad:
         If True, gradients are accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream scalar.
+    dtype:
+        Explicit dtype for the payload, overriding the process default.
 
     Notes
     -----
@@ -125,8 +226,9 @@ class Tensor:
         data: ArrayLike,
         requires_grad: bool = False,
         name: Optional[str] = None,
+        dtype=None,
     ) -> None:
-        self.data: np.ndarray = _as_array(data)
+        self.data: np.ndarray = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and _GradMode.enabled
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -170,6 +272,18 @@ class Tensor:
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the tape."""
         return Tensor(self.data, requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        """Return a detached copy cast to ``dtype``.
+
+        Casting is an inference/verification operation, so the result is
+        cut from the tape (gradients do not flow through ``astype``).
+        """
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    def _recording(self) -> bool:
+        """Whether an op on this tensor must build a backward closure."""
+        return _GradMode.enabled and self.requires_grad
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -356,6 +470,9 @@ class Tensor:
         return self ** 0.5
 
     def relu(self) -> "Tensor":
+        if not self._recording():
+            # Fast path: single in-register pass, no mask retained.
+            return Tensor(np.maximum(self.data, 0))
         mask = self.data > 0
         out_data = self.data * mask
 
@@ -383,6 +500,8 @@ class Tensor:
             1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60))),
             np.exp(np.clip(self.data, -60, 60)) / (1.0 + np.exp(np.clip(self.data, -60, 60))),
         ).astype(self.data.dtype)
+        if not self._recording():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -413,8 +532,11 @@ class Tensor:
     def log_softmax(self, axis: int = -1) -> "Tensor":
         """Numerically stable ``log(softmax(x))`` along ``axis``."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        exp = np.exp(shifted)
+        log_sum = np.log(exp.sum(axis=axis, keepdims=True))
         out_data = shifted - log_sum
+        if not self._recording():
+            return Tensor(out_data)
         softmax = np.exp(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -424,6 +546,11 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def softmax(self, axis: int = -1) -> "Tensor":
+        if not self._recording():
+            shifted = self.data - self.data.max(axis=axis, keepdims=True)
+            np.exp(shifted, out=shifted)
+            shifted /= shifted.sum(axis=axis, keepdims=True)
+            return Tensor(shifted)
         return self.log_softmax(axis=axis).exp()
 
     # ------------------------------------------------------------------

@@ -18,6 +18,119 @@ def relative_error(analytic, numeric):
     return np.abs(analytic - numeric).max() / scale
 
 
+def _kink_safe(x):
+    """Push values away from 0 so ReLU/pool kinks don't sit inside eps."""
+    return x + 0.1 * np.sign(x)
+
+
+#: (id, factory(rng) -> Module, input shape, "train" | "eval")
+LAYER_CASES = [
+    ("dense", lambda rng: nn.Dense(6, 4, rng=rng), (3, 6), "train"),
+    ("conv", lambda rng: nn.Conv2D(2, 3, 3, rng=rng), (2, 2, 6, 6), "train"),
+    ("conv_strided", lambda rng: nn.Conv2D(2, 3, 3, stride=2, rng=rng), (2, 2, 7, 7), "train"),
+    ("conv_padded", lambda rng: nn.Conv2D(2, 3, 3, padding=1, rng=rng), (2, 2, 5, 5), "train"),
+    ("conv_same", lambda rng: nn.Conv2D(1, 2, 5, padding="same", rng=rng), (2, 1, 6, 6), "train"),
+    (
+        "conv_rect",
+        lambda rng: nn.Conv2D(2, 2, (3, 2), stride=(2, 1), rng=rng),
+        (1, 2, 6, 5),
+        "train",
+    ),
+    ("conv_nobias", lambda rng: nn.Conv2D(2, 3, 3, bias=False, rng=rng), (2, 2, 5, 5), "train"),
+    ("convtranspose", lambda rng: nn.ConvTranspose2D(2, 3, 3, rng=rng), (2, 2, 4, 4), "train"),
+    (
+        "convtranspose_strided",
+        lambda rng: nn.ConvTranspose2D(2, 2, 3, stride=2, padding=1, rng=rng),
+        (2, 2, 4, 4),
+        "train",
+    ),
+    ("maxpool", lambda rng: nn.MaxPool2D(2), (2, 2, 6, 6), "train"),
+    ("maxpool_overlap", lambda rng: nn.MaxPool2D(3, stride=2), (2, 2, 7, 7), "train"),
+    ("avgpool", lambda rng: nn.AvgPool2D(2), (2, 2, 6, 6), "train"),
+    ("avgpool_overlap", lambda rng: nn.AvgPool2D(2, stride=1), (2, 2, 5, 5), "train"),
+    ("upsample", lambda rng: nn.UpSample2D(2), (2, 2, 3, 3), "train"),
+    ("flatten", lambda rng: nn.Flatten(), (2, 2, 3, 3), "train"),
+    ("batchnorm1d_train", lambda rng: nn.BatchNorm1D(4), (6, 4), "train"),
+    ("batchnorm1d_eval", lambda rng: nn.BatchNorm1D(4), (6, 4), "eval"),
+    ("batchnorm2d_train", lambda rng: nn.BatchNorm2D(3), (2, 3, 4, 4), "train"),
+    ("batchnorm2d_eval", lambda rng: nn.BatchNorm2D(3), (2, 3, 4, 4), "eval"),
+    ("relu", lambda rng: nn.ReLU(), (3, 5), "train"),
+    ("leakyrelu", lambda rng: nn.LeakyReLU(0.1), (3, 5), "train"),
+    ("sigmoid", lambda rng: nn.Sigmoid(), (3, 5), "train"),
+    ("tanh", lambda rng: nn.Tanh(), (3, 5), "train"),
+    ("softmax", lambda rng: nn.Softmax(), (3, 5), "train"),
+    ("logsoftmax", lambda rng: nn.LogSoftmax(), (3, 5), "train"),
+    ("dropout_eval", lambda rng: nn.Dropout(0.5), (3, 5), "eval"),
+]
+
+
+class TestLayerGradientSweep:
+    """Finite-difference check of every layer, parameter AND input grads.
+
+    Each case runs one layer in float64 (``Module.astype`` +
+    ``default_dtype`` keep every internal coercion at full precision,
+    so the central-difference noise floor sits far below tolerance),
+    reduces the output to a scalar with a fixed random projection, and
+    compares analytic gradients against central differences.  Inputs
+    are conditioned away from ReLU/pooling kinks, and BatchNorm running
+    buffers are reset before every evaluation so repeated forward
+    passes are identical.
+    """
+
+    TOL = 1e-4
+
+    @pytest.mark.parametrize(
+        "factory, shape, mode",
+        [pytest.param(f, s, m, id=name) for name, f, s, m in LAYER_CASES],
+    )
+    def test_layer_gradients(self, rng, numgrad, factory, shape, mode):
+        with nn.default_dtype(np.float64):
+            layer = factory(rng).astype(np.float64)
+            layer.eval() if mode == "eval" else layer.train()
+            x = _kink_safe(rng.normal(size=shape))
+            buffers = {
+                k: v.copy() for k, v in getattr(layer, "_buffers", {}).items()
+            }
+
+            with nn.no_grad():
+                probe = layer(Tensor(x))
+            proj = rng.normal(size=probe.shape)
+
+            def run():
+                for key, value in buffers.items():
+                    layer._buffers[key] = value.copy()
+                inp = Tensor(x, requires_grad=True)
+                loss = (layer(inp) * proj).sum()
+                return loss, inp
+
+            loss, inp = run()
+            layer.zero_grad()
+            loss.backward()
+            analytic_input = inp.grad
+            analytic_params = {
+                name: param.grad for name, param in layer.named_parameters()
+            }
+
+            def value():
+                return float(run()[0].data)
+
+            numeric = numgrad(value, x)
+            assert relative_error(analytic_input, numeric) < self.TOL, "input"
+            for name, param in layer.named_parameters():
+                numeric = numgrad(value, param.data)
+                assert relative_error(analytic_params[name], numeric) < self.TOL, name
+
+    def test_dropout_eval_is_identity(self, rng):
+        """Eval-mode dropout passes values and gradients through unchanged."""
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        out = layer(x)
+        np.testing.assert_array_equal(out.data, x.data)
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones_like(x.data))
+
+
 class TestFullModelGradients:
     def test_small_conv_classifier_end_to_end(self, rng, numgrad):
         """All parameters of a conv classifier pass the gradient check."""
