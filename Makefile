@@ -5,7 +5,7 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test bench bench-perf profile clean
+.PHONY: check test bench bench-perf bench-parallel profile clean
 
 check:
 	sh scripts/check.sh
@@ -18,6 +18,9 @@ bench:
 
 bench-perf:
 	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --out-dir benchmarks/perf
+
+bench-parallel:
+	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite parallel --out-dir benchmarks/perf
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q -s --profile

@@ -1,8 +1,9 @@
 """CLI entry point: ``python -m benchmarks.perf [--smoke] [--out-dir D]``.
 
-Runs the inference and training suites and writes ``BENCH_infer.json``
-and ``BENCH_train.json`` into ``--out-dir`` (default: this package's
-directory, where the committed baselines live).
+Runs the inference, training, and parallel suites and writes
+``BENCH_infer.json``, ``BENCH_train.json``, and ``BENCH_parallel.json``
+into ``--out-dir`` (default: this package's directory, where the
+committed baselines live).
 """
 
 from __future__ import annotations
@@ -12,6 +13,7 @@ import os
 import sys
 
 from .bench_infer import run_infer_suite
+from .bench_parallel import run_parallel_suite
 from .bench_train import run_train_suite
 from .harness import write_suite
 
@@ -35,7 +37,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["infer", "train", "all"],
+        choices=["infer", "train", "parallel", "all"],
         default="all",
         help="which suite(s) to run",
     )
@@ -51,6 +53,12 @@ def main(argv=None) -> int:
         cases = run_train_suite(smoke=args.smoke, repeats=min(args.repeats, 3))
         path = write_suite(
             os.path.join(args.out_dir, "BENCH_train.json"), "train", cases, smoke=args.smoke
+        )
+        _report(path, cases)
+    if args.suite in ("parallel", "all"):
+        cases = run_parallel_suite(smoke=args.smoke, repeats=min(args.repeats, 3))
+        path = write_suite(
+            os.path.join(args.out_dir, "BENCH_parallel.json"), "parallel", cases, smoke=args.smoke
         )
         _report(path, cases)
     return 0

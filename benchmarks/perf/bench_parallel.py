@@ -1,0 +1,200 @@
+"""Worker-scaling benchmarks for ``repro.parallel``.
+
+Three groups of cases:
+
+* ``train_step_w{N}`` — mean train-step wall-clock on the Table-I CNN
+  for 1 (serial), 2, and 4 workers, with ``speedup_vs_serial``;
+* ``train_epoch_scratch_{on,off}`` — the allocation-free hot loops
+  (cached im2col index maps, per-layer scratch, in-place optimizer)
+  against the same epoch with scratch disabled;
+* ``augment_w{N}`` — per-class augmentation (auto-encoder training +
+  synthetic generation, >= 2 minority classes) serial vs fanned out.
+
+Scaling caveat: data-parallel speedup requires physical cores.  On a
+single-CPU machine (see ``machine.cpu_count`` in the emitted JSON) the
+worker curves measure protocol overhead, not parallel speedup — the
+committed numbers are honest about that.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.augmentation import AugmentationConfig, augment_dataset
+from repro.core.cnn import BackboneConfig, WaferCNN
+from repro.core.trainer import TrainConfig, Trainer
+from repro.data.dataset import WaferDataset
+from repro.nn import functional as F
+from repro.parallel import parallel_supported
+
+from .harness import CaseResult, run_case
+
+__all__ = ["run_parallel_suite"]
+
+
+def _synthetic_dataset(count: int, size: int, num_classes: int, seed: int = 0) -> WaferDataset:
+    rng = np.random.default_rng(seed)
+    grids = rng.integers(0, 3, size=(count, size, size)).astype(np.uint8)
+    labels = rng.integers(0, num_classes, size=count).astype(np.int64)
+    names = tuple(f"class{i}" for i in range(num_classes))
+    return WaferDataset(grids=grids, labels=labels, class_names=names)
+
+
+def _imbalanced_dataset(majority: int, minority: int, size: int, seed: int = 0) -> WaferDataset:
+    """Three classes: one majority plus two minority classes to augment."""
+    rng = np.random.default_rng(seed)
+    counts = (majority, minority, minority)
+    grids = np.concatenate([
+        rng.integers(0, 3, size=(count, size, size)).astype(np.uint8)
+        for count in counts
+    ])
+    labels = np.concatenate([
+        np.full(count, label, dtype=np.int64) for label, count in enumerate(counts)
+    ])
+    return WaferDataset(grids=grids, labels=labels, class_names=("maj", "min_a", "min_b"))
+
+
+def _train_step_cases(smoke: bool, repeats: int) -> List[CaseResult]:
+    count, size, batch = (32, 32, 16) if smoke else (128, 64, 64)
+    num_classes = 4
+    dataset = _synthetic_dataset(count, size, num_classes)
+    config = BackboneConfig(input_size=size)
+    steps = max(1, (count + batch - 1) // batch)
+
+    def one_epoch(num_workers: int):
+        def run() -> None:
+            model = WaferCNN(num_classes=num_classes, config=config)
+            trainer = Trainer(
+                model,
+                TrainConfig(
+                    epochs=1, batch_size=batch, shuffle=False, seed=0,
+                    num_workers=num_workers,
+                ),
+            )
+            trainer.fit(dataset)
+        return run
+
+    cases: List[CaseResult] = []
+    serial_step = None
+    for workers in (1, 2, 4):
+        if workers > 1 and not parallel_supported(workers):
+            continue
+        case = run_case(
+            f"train_step_w{workers}",
+            one_epoch(workers),
+            repeats=repeats,
+            warmup=1,
+            params={
+                "samples": count, "input_size": size, "batch_size": batch,
+                "arch": "table1", "num_workers": workers, "steps": steps,
+            },
+        )
+        step_s = case.wall_s_median / steps
+        case.metrics["step_s"] = step_s
+        case.metrics["samples_per_s"] = count / case.wall_s_median
+        if workers == 1:
+            serial_step = step_s
+        elif serial_step is not None:
+            case.metrics["speedup_vs_serial"] = serial_step / step_s
+        cases.append(case)
+    return cases
+
+
+def _scratch_cases(smoke: bool, repeats: int) -> List[CaseResult]:
+    count, size, batch = (32, 32, 16) if smoke else (128, 64, 64)
+    num_classes = 4
+    dataset = _synthetic_dataset(count, size, num_classes)
+    config = BackboneConfig(input_size=size)
+
+    def one_epoch() -> None:
+        model = WaferCNN(num_classes=num_classes, config=config)
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=1, batch_size=batch, shuffle=False, seed=0),
+        )
+        trainer.fit(dataset)
+
+    def one_epoch_no_scratch() -> None:
+        # The trainer enables train_scratch internally; force it off by
+        # stubbing the context to measure the allocation-heavy path.
+        saved = F._TrainScratchState.enabled
+
+        class _Off:
+            def __enter__(self):
+                F._TrainScratchState.enabled = False
+                return self
+
+            def __exit__(self, *exc):
+                F._TrainScratchState.enabled = saved
+
+        original = F.train_scratch
+        from repro import nn as nn_module
+        F.train_scratch = _Off  # type: ignore[assignment]
+        nn_module.train_scratch = _Off  # type: ignore[assignment]
+        try:
+            one_epoch()
+        finally:
+            F.train_scratch = original  # type: ignore[assignment]
+            nn_module.train_scratch = original  # type: ignore[assignment]
+
+    params = {"samples": count, "input_size": size, "batch_size": batch, "arch": "table1"}
+    on = run_case("train_epoch_scratch_on", one_epoch, repeats=repeats, warmup=1, params=params)
+    off = run_case(
+        "train_epoch_scratch_off", one_epoch_no_scratch, repeats=repeats, warmup=1, params=params
+    )
+    on.metrics["samples_per_s"] = count / on.wall_s_median
+    off.metrics["samples_per_s"] = count / off.wall_s_median
+    on.metrics["speedup_vs_no_scratch"] = off.wall_s_median / on.wall_s_median
+    return [on, off]
+
+
+def _augment_cases(smoke: bool, repeats: int) -> List[CaseResult]:
+    majority, minority, size = (24, 4, 16) if smoke else (64, 8, 32)
+    dataset = _imbalanced_dataset(majority, minority, size)
+    config = AugmentationConfig(
+        target_count=majority,
+        ae_epochs=2 if smoke else 5,
+        ae_batch_size=8,
+        realias_range=None,
+        seed=0,
+    )
+
+    def augment(num_workers: int):
+        def run() -> None:
+            augment_dataset(dataset, config, num_workers=num_workers)
+        return run
+
+    cases: List[CaseResult] = []
+    serial = None
+    for workers in (1, 2):
+        if workers > 1 and not parallel_supported(workers):
+            continue
+        case = run_case(
+            f"augment_w{workers}",
+            augment(workers),
+            repeats=repeats,
+            warmup=1,
+            params={
+                "minority_classes": 2, "minority_count": minority,
+                "target_count": majority, "input_size": size,
+                "ae_epochs": config.ae_epochs, "num_workers": workers,
+            },
+        )
+        if workers == 1:
+            serial = case.wall_s_median
+        elif serial is not None:
+            case.metrics["speedup_vs_serial"] = serial / case.wall_s_median
+        cases.append(case)
+    return cases
+
+
+def run_parallel_suite(smoke: bool = False, repeats: int = 3) -> List[CaseResult]:
+    """Worker-scaling curves; ``smoke=True`` shrinks every workload."""
+    if smoke:
+        repeats = min(repeats, 1)
+    cases = _train_step_cases(smoke, repeats)
+    cases.extend(_scratch_cases(smoke, repeats))
+    cases.extend(_augment_cases(smoke, repeats))
+    return cases

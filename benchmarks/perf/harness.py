@@ -101,13 +101,21 @@ def run_case(
 
 
 def machine_info() -> Dict[str, Any]:
-    """Where the numbers came from — needed to compare across runs."""
+    """Where the numbers came from — needed to compare across runs.
+
+    The ``env`` block records the BLAS threadpool knobs: worker-scaling
+    numbers are meaningless without knowing whether the serial baseline
+    was itself multi-threaded.
+    """
+    from repro.parallel import BLAS_ENV_VARS
+
     return {
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
+        "env": {var: os.environ.get(var) for var in BLAS_ENV_VARS},
     }
 
 

@@ -15,11 +15,18 @@ python -m compileall -q src examples benchmarks scripts
 echo "== pytest (tier 1) =="
 python -m pytest -x -q
 
+echo "== parallel training smoke (2 workers) =="
+timeout 240 python -m repro.parallel.smoke
+
+echo "== parallel equivalence tests =="
+timeout 300 python -m pytest tests/parallel -q
+
 echo "== perf benchmark smoke =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 python -m benchmarks.perf --smoke --out-dir "$smoke_dir"
 test -s "$smoke_dir/BENCH_infer.json"
 test -s "$smoke_dir/BENCH_train.json"
+test -s "$smoke_dir/BENCH_parallel.json"
 
 echo "check: OK"

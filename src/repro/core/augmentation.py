@@ -161,11 +161,27 @@ def augment_class(
     return np.stack(synthetic)
 
 
+def _augment_one_class(task) -> np.ndarray:
+    """Run Algorithm 1 for one class from a self-contained task tuple.
+
+    ``task`` is ``(grids, config_kwargs)`` with the per-class seed
+    already derived, so the synthetic output depends only on the class
+    itself — never on which other classes are being augmented or on
+    which worker handled it.  Top-level so it pickles under any
+    multiprocessing start method.
+    """
+    members, config_kwargs = task
+    class_config = AugmentationConfig(**config_kwargs)
+    rng = np.random.default_rng(class_config.seed)
+    return augment_class(members, class_config, rng=rng)
+
+
 def augment_dataset(
     train: WaferDataset,
     config: Optional[AugmentationConfig] = None,
     skip_classes: Mapping[str, bool] | None = None,
     verbose: bool = False,
+    num_workers: int = 1,
 ) -> WaferDataset:
     """Augment every under-represented class of a training set.
 
@@ -174,14 +190,20 @@ def augment_dataset(
     dataset = originals (weight 1) + synthetics (weight ``w``), with
     per-class counts matching Table II's ``Train_aug`` construction:
     ``n_cl * (n_r + 1)`` samples for each augmented class.
+
+    ``num_workers > 1`` fans the per-class work — each class trains its
+    own auto-encoder, so the classes are embarrassingly parallel —
+    across processes via :func:`repro.parallel.parallel_map`.  Every
+    class uses an rng derived from ``config.seed + label``, so results
+    are identical for any worker count (including serial).
     """
+    from ..parallel import parallel_map
+
     config = config if config is not None else AugmentationConfig()
     skip = dict(skip_classes or {})
-    rng = np.random.default_rng(config.seed)
 
-    grids = [train.grids]
-    labels = [train.labels]
-    weights = [train.weights()]
+    tasks = []
+    task_labels = []
     for label, name in enumerate(train.class_names):
         if skip.get(name):
             continue
@@ -190,8 +212,16 @@ def augment_dataset(
             continue
         if verbose:
             print(f"augmenting {name}: {len(members)} -> target {config.target_count}")
-        class_config = AugmentationConfig(**{**config.__dict__, "seed": config.seed + label})
-        synthetic = augment_class(members, class_config, rng=rng)
+        config_kwargs = {**config.__dict__, "seed": config.seed + label}
+        tasks.append((members, config_kwargs))
+        task_labels.append(label)
+
+    grids = [train.grids]
+    labels = [train.labels]
+    weights = [train.weights()]
+    for label, synthetic in zip(
+        task_labels, parallel_map(_augment_one_class, tasks, num_workers=num_workers)
+    ):
         if len(synthetic) == 0:
             continue
         grids.append(synthetic)

@@ -64,10 +64,18 @@ class TrainConfig:
     seed: int = 0
     shuffle: bool = True
     verbose: bool = False
+    #: >1 enables synchronous data-parallel training: each mini-batch
+    #: is sharded across worker processes, gradients are combined, and
+    #: one optimizer step is applied — same trajectory as serial
+    #: training up to float summation order.  Silently falls back to
+    #: serial where multiprocessing is unavailable.
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
         if not 0.0 < self.target_coverage <= 1.0:
             raise ValueError("target_coverage must be in (0, 1]")
         if self.grad_clip is not None and self.grad_clip <= 0:
@@ -170,36 +178,41 @@ class Trainer:
             rng=self._rng,
             shuffle=self.config.shuffle,
         )
+        engine = self._make_engine()
         started = time.perf_counter()
         best_val = -np.inf
         epochs_without_improvement = 0
-        for epoch in range(1, self.config.epochs + 1):
-            stats = self._run_epoch(epoch, batches)
-            if validation is not None:
-                stats.val_accuracy = self._quick_accuracy(validation)
-            self.history.append(stats)
-            if callback is not None:
-                callback(stats)
-            if self.run_logger is not None:
-                self.run_logger.log_epoch(stats)
-            val = f" val_acc={stats.val_accuracy:.3f}" if stats.val_accuracy is not None else ""
-            logger.info(
-                "epoch %3d loss=%.4f acc=%.3f cov=%.3f grad=%.3f%s",
-                epoch, stats.loss, stats.train_accuracy, stats.coverage,
-                stats.grad_norm if stats.grad_norm is not None else 0.0, val,
-            )
-            patience = self.config.early_stopping_patience
-            if patience is not None and stats.val_accuracy is not None:
-                if stats.val_accuracy > best_val + 1e-9:
-                    best_val = stats.val_accuracy
-                    epochs_without_improvement = 0
-                else:
-                    epochs_without_improvement += 1
-                    if epochs_without_improvement >= patience:
-                        logger.info("early stop at epoch %d", epoch)
-                        if self.run_logger is not None:
-                            self.run_logger.log("early_stop", epoch=epoch)
-                        break
+        try:
+            for epoch in range(1, self.config.epochs + 1):
+                stats = self._run_epoch(epoch, batches, engine)
+                if validation is not None:
+                    stats.val_accuracy = self._quick_accuracy(validation)
+                self.history.append(stats)
+                if callback is not None:
+                    callback(stats)
+                if self.run_logger is not None:
+                    self.run_logger.log_epoch(stats)
+                val = f" val_acc={stats.val_accuracy:.3f}" if stats.val_accuracy is not None else ""
+                logger.info(
+                    "epoch %3d loss=%.4f acc=%.3f cov=%.3f grad=%.3f%s",
+                    epoch, stats.loss, stats.train_accuracy, stats.coverage,
+                    stats.grad_norm if stats.grad_norm is not None else 0.0, val,
+                )
+                patience = self.config.early_stopping_patience
+                if patience is not None and stats.val_accuracy is not None:
+                    if stats.val_accuracy > best_val + 1e-9:
+                        best_val = stats.val_accuracy
+                        epochs_without_improvement = 0
+                    else:
+                        epochs_without_improvement += 1
+                        if epochs_without_improvement >= patience:
+                            logger.info("early stop at epoch %d", epoch)
+                            if self.run_logger is not None:
+                                self.run_logger.log("early_stop", epoch=epoch)
+                            break
+        finally:
+            if engine is not None:
+                engine.shutdown()
         if self.run_logger is not None:
             final = self.history.final
             self.run_logger.log(
@@ -214,7 +227,42 @@ class Trainer:
         return self.history
 
     # ------------------------------------------------------------------
-    def _run_epoch(self, epoch: int, batches: BatchIterator) -> EpochStats:
+    def _selective_mode(self) -> bool:
+        return isinstance(self.model, SelectiveNet) and self.config.target_coverage < 1.0
+
+    def _make_engine(self):
+        """Build the data-parallel engine, or None for serial training.
+
+        ``num_workers > 1`` on a platform without multiprocessing
+        support logs a warning and falls back to serial — results are
+        identical either way, only wall-clock differs.
+        """
+        if self.config.num_workers <= 1:
+            return None
+        from ..parallel import DataParallelEngine, ObjectiveSpec, parallel_supported
+
+        if not parallel_supported(self.config.num_workers):
+            logger.warning(
+                "num_workers=%d requested but parallel execution is "
+                "unavailable on this platform; training serially",
+                self.config.num_workers,
+            )
+            return None
+        objective = ObjectiveSpec(
+            kind="selective" if self._selective_mode() else "cross_entropy",
+            target_coverage=self.config.target_coverage,
+            lam=self.config.lam,
+            alpha=self.config.alpha,
+            penalty_mode=self.config.penalty_mode,
+        )
+        return DataParallelEngine(
+            self.model,
+            objective,
+            num_workers=self.config.num_workers,
+            max_batch=self.config.batch_size,
+        )
+
+    def _run_epoch(self, epoch: int, batches: BatchIterator, engine=None) -> EpochStats:
         self.model.train()
         started = time.perf_counter()
         total_loss = 0.0
@@ -225,44 +273,57 @@ class Trainer:
         grad_norm_sum = 0.0
         batch_count = 0
 
-        selective = isinstance(self.model, SelectiveNet) and self.config.target_coverage < 1.0
+        selective = self._selective_mode()
 
-        for inputs, labels, weights in batches:
-            tensor = nn.Tensor(inputs)
-            if selective:
-                logits, selection = self.model(tensor)
-                terms = selectivenet_objective(
-                    logits,
-                    selection,
-                    labels,
-                    target_coverage=self.config.target_coverage,
-                    lam=self.config.lam,
-                    alpha=self.config.alpha,
-                    sample_weights=weights,
-                    penalty_mode=self.config.penalty_mode,
-                )
-                loss = terms.total
-                coverage_sum += terms.coverage
-                risk_sum += terms.selective_risk
-            else:
-                outputs = self.model(tensor)
-                logits = outputs[0] if isinstance(outputs, tuple) else outputs
-                loss = nn.cross_entropy(logits, labels, sample_weights=weights)
-                coverage_sum += 1.0
-                risk_sum += float(loss.data)
+        with nn.train_scratch():
+            for inputs, labels, weights in batches:
+                if engine is not None:
+                    step = engine.train_step(inputs, labels, weights)
+                    loss_value = step.loss
+                    correct = step.correct
+                    coverage_sum += step.coverage
+                    risk_sum += step.selective_risk
+                elif selective:
+                    tensor = nn.Tensor(inputs)
+                    logits, selection = self.model(tensor)
+                    terms = selectivenet_objective(
+                        logits,
+                        selection,
+                        labels,
+                        target_coverage=self.config.target_coverage,
+                        lam=self.config.lam,
+                        alpha=self.config.alpha,
+                        sample_weights=weights,
+                        penalty_mode=self.config.penalty_mode,
+                    )
+                    self.optimizer.zero_grad(set_to_none=False)
+                    terms.total.backward()
+                    loss_value = float(terms.total.data)
+                    correct = int((logits.data.argmax(axis=1) == labels).sum())
+                    coverage_sum += terms.coverage
+                    risk_sum += terms.selective_risk
+                else:
+                    tensor = nn.Tensor(inputs)
+                    outputs = self.model(tensor)
+                    logits = outputs[0] if isinstance(outputs, tuple) else outputs
+                    loss = nn.cross_entropy(logits, labels, sample_weights=weights)
+                    self.optimizer.zero_grad(set_to_none=False)
+                    loss.backward()
+                    loss_value = float(loss.data)
+                    correct = int((logits.data.argmax(axis=1) == labels).sum())
+                    coverage_sum += 1.0
+                    risk_sum += loss_value
 
-            self.optimizer.zero_grad()
-            loss.backward()
-            norm = self._grad_norm()
-            grad_norm_sum += norm
-            if self.config.grad_clip is not None:
-                self._clip_gradients(self.config.grad_clip, norm=norm)
-            self.optimizer.step()
+                norm = self._grad_norm()
+                grad_norm_sum += norm
+                if self.config.grad_clip is not None:
+                    self._clip_gradients(self.config.grad_clip, norm=norm)
+                self.optimizer.step()
 
-            total_loss += float(loss.data) * len(labels)
-            total_correct += int((logits.data.argmax(axis=1) == labels).sum())
-            total_samples += len(labels)
-            batch_count += 1
+                total_loss += loss_value * len(labels)
+                total_correct += correct
+                total_samples += len(labels)
+                batch_count += 1
 
         return EpochStats(
             epoch=epoch,

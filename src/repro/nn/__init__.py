@@ -45,7 +45,8 @@ from .layers import (
 )
 from .losses import binary_cross_entropy, cross_entropy, mse_loss, nll_loss, one_hot
 from .optim import SGD, Adam, ConstantLR, CosineLR, ExponentialLR, RMSProp, StepLR
-from .serialization import load_model, save_model
+from .functional import train_scratch
+from .serialization import load_model, load_optimizer, save_model, save_optimizer
 from .tensor import (
     Tensor,
     concatenate,
@@ -107,5 +108,8 @@ __all__ = [
     "ExponentialLR",
     "CosineLR",
     "save_model",
+    "save_optimizer",
+    "load_optimizer",
+    "train_scratch",
     "load_model",
 ]

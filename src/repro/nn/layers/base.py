@@ -237,10 +237,10 @@ class Module:
     # ------------------------------------------------------------------
     # Gradients
     # ------------------------------------------------------------------
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
         """Clear gradients of every parameter."""
         for param in self.parameters():
-            param.zero_grad()
+            param.zero_grad(set_to_none)
 
     # ------------------------------------------------------------------
     # Serialization

@@ -63,9 +63,14 @@ class Conv2D(Module):
             initializer((out_channels, in_channels, kh, kw), rng), name="weight"
         )
         self.bias = Parameter(init_module.zeros((out_channels,)), name="bias") if bias else None
+        # Layer-owned training scratch (honoured under F.train_scratch()).
+        self._scratch = F.LayerScratch()
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(
+            x, self.weight, self.bias,
+            stride=self.stride, padding=self.padding, scratch=self._scratch,
+        )
 
     def forward_fused(self, x: Tensor) -> Tensor:
         """Conv → bias → ReLU in one pass (see :func:`F.conv2d_relu`).
@@ -75,7 +80,10 @@ class Conv2D(Module):
         under :class:`~repro.nn.tensor.inference_mode`; the fusion is
         gradient-exact when recording, so it is safe to call anywhere.
         """
-        return F.conv2d_relu(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d_relu(
+            x, self.weight, self.bias,
+            stride=self.stride, padding=self.padding, scratch=self._scratch,
+        )
 
     def output_shape(self, input_shape: Tuple[int, int]) -> Tuple[int, int]:
         """Spatial output shape for a given ``(H, W)`` input."""
@@ -124,10 +132,12 @@ class ConvTranspose2D(Module):
             initializer((in_channels, out_channels, kh, kw), rng), name="weight"
         )
         self.bias = Parameter(init_module.zeros((out_channels,)), name="bias") if bias else None
+        self._scratch = F.LayerScratch()
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv_transpose2d(
-            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+            x, self.weight, self.bias,
+            stride=self.stride, padding=self.padding, scratch=self._scratch,
         )
 
     def __repr__(self) -> str:

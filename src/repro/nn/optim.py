@@ -32,7 +32,16 @@ class Optimizer:
     Subclasses implement :meth:`_update` for a single parameter given
     its gradient.  Weight decay, if set, is applied as decoupled L2
     (added to the gradient before the update rule).
+
+    The hot loop is allocation-free: weight decay and the subclass
+    update rules run through per-parameter scratch buffers (see
+    :meth:`_buffer`) instead of materializing ``grad + wd * data`` and
+    friends as fresh temporaries every step.
     """
+
+    #: Names of the per-parameter slot dictionaries a subclass persists
+    #: in :meth:`state_dict`; ``"m"`` maps to the ``self._m`` dict.
+    _slot_names: tuple = ()
 
     def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0):
         self.parameters: List[Parameter] = list(parameters)
@@ -45,11 +54,25 @@ class Optimizer:
         self.lr = float(lr)
         self.weight_decay = float(weight_decay)
         self._step_count = 0
+        self._scratch: Dict[tuple, np.ndarray] = {}
 
-    def zero_grad(self) -> None:
-        """Clear all parameter gradients."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear all parameter gradients.
+
+        ``set_to_none=False`` keeps each parameter's gradient buffer and
+        zeroes it in place, so backward accumulates into reused memory.
+        """
         for param in self.parameters:
-            param.zero_grad()
+            param.zero_grad(set_to_none)
+
+    def _buffer(self, name: str, index: int, param: Parameter) -> np.ndarray:
+        """Reusable uninitialized scratch shaped like ``param.data``."""
+        key = (name, index)
+        buf = self._scratch.get(key)
+        if buf is None or buf.shape != param.data.shape or buf.dtype != param.data.dtype:
+            buf = np.empty_like(param.data)
+            self._scratch[key] = buf
+        return buf
 
     def step(self) -> None:
         """Apply one update using the accumulated gradients."""
@@ -59,23 +82,64 @@ class Optimizer:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                decayed = self._buffer("wd", index, param)
+                np.multiply(param.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
             self._update(index, param, grad)
 
     def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
         raise NotImplementedError
 
+    def _slot(self, name: str) -> Dict[int, np.ndarray]:
+        return getattr(self, f"_{name}")
+
     def state_dict(self) -> Dict[str, object]:
-        """Serializable optimizer state (step count and slot buffers)."""
-        return {"step_count": self._step_count, "lr": self.lr}
+        """Serializable optimizer state: hyperparameters, step count and
+        every per-parameter slot buffer (``"<slot>.<param_index>"``)."""
+        state: Dict[str, object] = {
+            "step_count": self._step_count,
+            "lr": self.lr,
+            "weight_decay": self.weight_decay,
+        }
+        for name in self._slot_names:
+            for index, array in self._slot(name).items():
+                state[f"{name}.{index}"] = array.copy()
+        return state
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
+        # Scalars may arrive as 0-d numpy arrays from an npz round-trip.
         self._step_count = int(state["step_count"])
         self.lr = float(state["lr"])
+        if "weight_decay" in state:
+            self.weight_decay = float(state["weight_decay"])
+        for name in self._slot_names:
+            slot = self._slot(name)
+            slot.clear()
+            prefix = f"{name}."
+            for key, value in state.items():
+                if not key.startswith(prefix):
+                    continue
+                index = int(key[len(prefix):])
+                if not 0 <= index < len(self.parameters):
+                    raise ValueError(
+                        f"slot {key!r} refers to parameter {index}, but the "
+                        f"optimizer holds {len(self.parameters)} parameters"
+                    )
+                param = self.parameters[index]
+                array = np.asarray(value)
+                if array.shape != param.data.shape:
+                    raise ValueError(
+                        f"slot {key!r} shape {array.shape} does not match "
+                        f"parameter shape {param.data.shape}"
+                    )
+                slot[index] = array.astype(param.data.dtype, copy=True)
 
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    _slot_names = ("velocity",)
 
     def __init__(
         self,
@@ -95,21 +159,32 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        # In-place formulation of v = mu*v + g; relies only on IEEE-754
+        # commutativity of * and +, so it is bit-identical to the
+        # textbook expressions it replaces.
         if self.momentum:
             velocity = self._velocity.get(index)
             if velocity is None:
                 velocity = np.zeros_like(param.data)
-            velocity = self.momentum * velocity + grad
-            self._velocity[index] = velocity
+                self._velocity[index] = velocity
+            np.multiply(velocity, self.momentum, out=velocity)
+            velocity += grad
             if self.nesterov:
-                grad = grad + self.momentum * velocity
+                lookahead = self._buffer("tmp", index, param)
+                np.multiply(velocity, self.momentum, out=lookahead)
+                lookahead += grad
+                grad = lookahead
             else:
                 grad = velocity
-        param.data -= self.lr * grad
+        update = self._buffer("upd", index, param)
+        np.multiply(grad, self.lr, out=update)
+        param.data -= update
 
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba, 2015) — the optimizer used in the paper."""
+
+    _slot_names = ("m", "v")
 
     def __init__(
         self,
@@ -129,23 +204,39 @@ class Adam(Optimizer):
         self._v: Dict[int, np.ndarray] = {}
 
     def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        # Allocation-free restatement of the textbook update; each line
+        # maps to the original expression through IEEE-754 commutativity
+        # of * only, so the trajectory is bit-identical.
         m = self._m.get(index)
         v = self._v.get(index)
         if m is None:
             m = np.zeros_like(param.data)
             v = np.zeros_like(param.data)
-        m = self.beta1 * m + (1 - self.beta1) * grad
-        v = self.beta2 * v + (1 - self.beta2) * grad * grad
-        self._m[index] = m
-        self._v[index] = v
+            self._m[index] = m
+            self._v[index] = v
+        tmp = self._buffer("tmp", index, param)
+        np.multiply(m, self.beta1, out=m)           # beta1 * m
+        np.multiply(grad, 1 - self.beta1, out=tmp)  # (1-beta1) * grad
+        m += tmp
+        np.multiply(grad, 1 - self.beta2, out=tmp)  # (1-beta2) * grad * grad
+        tmp *= grad
+        np.multiply(v, self.beta2, out=v)           # beta2 * v
+        v += tmp
         t = self._step_count
-        m_hat = m / (1 - self.beta1 ** t)
-        v_hat = v / (1 - self.beta2 ** t)
-        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.divide(v, 1 - self.beta2 ** t, out=tmp)  # v_hat
+        np.sqrt(tmp, out=tmp)
+        tmp += self.eps
+        update = self._buffer("upd", index, param)
+        np.divide(m, 1 - self.beta1 ** t, out=update)  # m_hat
+        update *= self.lr                              # lr * m_hat
+        update /= tmp
+        param.data -= update
 
 
 class RMSProp(Optimizer):
     """RMSProp with exponential moving average of squared gradients."""
+
+    _slot_names = ("cache",)
 
     def __init__(
         self,
@@ -166,9 +257,18 @@ class RMSProp(Optimizer):
         cache = self._cache.get(index)
         if cache is None:
             cache = np.zeros_like(param.data)
-        cache = self.rho * cache + (1 - self.rho) * grad * grad
-        self._cache[index] = cache
-        param.data -= self.lr * grad / (np.sqrt(cache) + self.eps)
+            self._cache[index] = cache
+        tmp = self._buffer("tmp", index, param)
+        np.multiply(grad, 1 - self.rho, out=tmp)  # (1-rho) * grad * grad
+        tmp *= grad
+        np.multiply(cache, self.rho, out=cache)   # rho * cache
+        cache += tmp
+        np.sqrt(cache, out=tmp)
+        tmp += self.eps
+        update = self._buffer("upd", index, param)
+        np.multiply(grad, self.lr, out=update)    # lr * grad
+        update /= tmp
+        param.data -= update
 
 
 class LRSchedule:

@@ -1,4 +1,4 @@
-"""Model checkpointing to ``.npz`` files."""
+"""Model and optimizer checkpointing to ``.npz`` files."""
 
 from __future__ import annotations
 
@@ -8,8 +8,9 @@ from typing import Union
 import numpy as np
 
 from .layers.base import Module
+from .optim import Optimizer
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "save_optimizer", "load_optimizer"]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -37,3 +38,30 @@ def load_model(model: Module, path: PathLike) -> Module:
         state = {key: archive[key] for key in archive.files}
     model.load_state_dict(state)
     return model
+
+
+def save_optimizer(optimizer: Optimizer, path: PathLike) -> None:
+    """Write optimizer state (hyperparameters, step count, slot buffers
+    such as Adam moments) to a compressed npz.
+
+    Together with :func:`save_model` this makes a training run fully
+    resumable: load both and continuing matches the uninterrupted run.
+    """
+    state = optimizer.state_dict()
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(os.fspath(path), **state)
+
+
+def load_optimizer(optimizer: Optimizer, path: PathLike) -> Optimizer:
+    """Load state saved with :func:`save_optimizer` into ``optimizer``.
+
+    The optimizer must already be constructed over the same parameter
+    list (same order and shapes); slot shape mismatches raise
+    ``ValueError``.
+    """
+    with np.load(os.fspath(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    optimizer.load_state_dict(state)
+    return optimizer

@@ -1,0 +1,45 @@
+"""``repro.parallel`` — multiprocessing training & augmentation engine.
+
+Three layers:
+
+* :mod:`~repro.parallel.shm` — one shared-memory segment holding named
+  ndarray views (:class:`ShmArena`), the pickle-free transport for
+  parameters, batches, and gradients.
+* :mod:`~repro.parallel.pool` — :class:`WorkerPool` processes driven
+  over pipes with BLAS threadpools pinned to one thread, plus the
+  generic order-preserving :func:`parallel_map`.
+* :mod:`~repro.parallel.engine` — :class:`DataParallelEngine`,
+  synchronous data-parallel SGD whose two-phase partial-sum protocol
+  keeps the nonlinear SelectiveNet objective gradient-exact.
+
+Everything degrades gracefully: when ``num_workers <= 1`` or the
+platform lacks ``multiprocessing.shared_memory``
+(:func:`parallel_supported` is the single gate), callers fall back to
+the serial code path with identical results.
+"""
+
+from .engine import DataParallelEngine, ObjectiveSpec, StepStats
+from .pool import (
+    BLAS_ENV_VARS,
+    WorkerPool,
+    blas_single_thread,
+    parallel_map,
+    parallel_supported,
+    pin_blas_threads,
+)
+from .shm import HAVE_SHARED_MEMORY, ArraySpec, ShmArena
+
+__all__ = [
+    "ArraySpec",
+    "ShmArena",
+    "HAVE_SHARED_MEMORY",
+    "WorkerPool",
+    "parallel_map",
+    "parallel_supported",
+    "pin_blas_threads",
+    "blas_single_thread",
+    "BLAS_ENV_VARS",
+    "DataParallelEngine",
+    "ObjectiveSpec",
+    "StepStats",
+]

@@ -1,0 +1,370 @@
+"""Synchronous data-parallel training engine.
+
+Each step splits the mini-batch across N workers, runs forward/backward
+on the shards, and sums the shard gradients into the parent model's
+``param.grad`` — the parent then applies one ordinary optimizer step,
+so data-parallel training reproduces the serial trajectory (same seed,
+same batches, same updates) up to floating-point summation order.
+
+Exactness.  The SelectiveNet objective (Eq. 9) is *nonlinear* in batch
+statistics — coverage appears in a denominator and inside the penalty —
+so naively averaging per-shard losses would compute the gradient of a
+different function.  Instead every step runs a two-phase protocol:
+
+1. Workers forward their shard and report the three batch partial sums
+   the objective depends on: ``U = sum(w*l*g)``, ``V = sum(g)``,
+   ``W = sum(w*l)`` (per-sample CE ``l``, selection ``g``, weights
+   ``w``).
+2. The parent combines them into the full-batch statistics and sends
+   back three scalar coefficients ``kU, kV, kW`` — the partial
+   derivatives of the objective with respect to those sums.  Each
+   worker then backpropagates the *linear* surrogate
+   ``kU*U_s + kV*V_s + kW*W_s`` of its own shard tensors.
+
+By the chain rule the sum of the surrogate gradients equals the exact
+gradient of the full-batch objective; plain cross-entropy is the
+``kU = kV = 0, kW = 1/N`` special case.  Parameters, batches, and the
+per-worker gradient slab all live in one shared-memory arena
+(:mod:`repro.parallel.shm`), so no ndarray is ever pickled after
+start-up; workers bind their model parameters directly onto the arena
+views, making the parent's post-step weights visible for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .pool import WorkerPool, parallel_supported
+from .shm import ArraySpec, ShmArena
+
+__all__ = ["ObjectiveSpec", "StepStats", "DataParallelEngine"]
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """Which training objective the workers evaluate.
+
+    ``kind="cross_entropy"`` is the full-coverage path; ``"selective"``
+    is the Eq. 9 objective with the trainer's hyper-parameters.
+    ``eps`` must match :func:`repro.core.losses.selective_risk`.
+    """
+
+    kind: str = "cross_entropy"
+    target_coverage: float = 1.0
+    lam: float = 0.5
+    alpha: float = 0.5
+    penalty_mode: str = "symmetric"
+    eps: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cross_entropy", "selective"):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if self.penalty_mode not in ("symmetric", "hinge"):
+            raise ValueError(f"unknown penalty mode {self.penalty_mode!r}")
+
+
+@dataclass
+class StepStats:
+    """Full-batch statistics of one data-parallel step, matching what
+    the serial loop reads off the loss terms."""
+
+    loss: float
+    coverage: float
+    selective_risk: float
+    correct: int
+
+
+def _shard_bounds(n: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous, deterministic split of ``range(n)`` into ``workers``
+    near-equal shards (first ``n % workers`` shards get the extra)."""
+    base, rem = divmod(n, workers)
+    bounds = []
+    lo = 0
+    for rank in range(workers):
+        hi = lo + base + (1 if rank < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _coefficients(
+    spec: ObjectiveSpec, n: int, u: float, v: float, w: float
+) -> Tuple[float, float, float]:
+    """Partial derivatives (kU, kV, kW) of the objective with respect
+    to the batch sums, evaluated at the current statistics."""
+    if spec.kind == "cross_entropy":
+        return 0.0, 0.0, 1.0 / n
+    coverage = v / n
+    d = coverage + spec.eps
+    if spec.penalty_mode == "symmetric":
+        dpsi = 2.0 * (coverage - spec.target_coverage)
+    else:  # hinge: psi = max(0, c0 - c)^2
+        gap = spec.target_coverage - coverage
+        dpsi = -2.0 * gap if gap > 0 else 0.0
+    k_u = spec.alpha / (n * d)
+    k_v = spec.alpha * (-u / (n * n * d * d) + spec.lam * dpsi / n)
+    k_w = (1.0 - spec.alpha) / n
+    return k_u, k_v, k_w
+
+
+def _batch_stats(
+    spec: ObjectiveSpec, n: int, u: float, v: float, w: float, correct: int
+) -> StepStats:
+    """Recover the loss terms the serial loop logs from the sums."""
+    if spec.kind == "cross_entropy":
+        loss = w / n
+        return StepStats(loss=loss, coverage=1.0, selective_risk=loss, correct=correct)
+    coverage = v / n
+    risk = (u / n) / (coverage + spec.eps)
+    if spec.penalty_mode == "symmetric":
+        penalty = (coverage - spec.target_coverage) ** 2
+    else:
+        penalty = max(0.0, spec.target_coverage - coverage) ** 2
+    total = spec.alpha * (risk + spec.lam * penalty) + (1.0 - spec.alpha) * (w / n)
+    return StepStats(
+        loss=total, coverage=coverage, selective_risk=risk, correct=correct
+    )
+
+
+class DataParallelEngine:
+    """Drives N workers through the two-phase protocol above.
+
+    The arena is sized lazily on the first :meth:`train_step` (batch
+    geometry and dtypes are only known then).  After each step the
+    model's ``param.grad`` holds the summed shard gradients — the
+    caller clips and applies the optimizer exactly as in serial
+    training; the engine re-publishes the updated parameters at the
+    start of the next step.
+    """
+
+    def __init__(
+        self,
+        model,
+        objective: ObjectiveSpec,
+        num_workers: int,
+        max_batch: int,
+        timeout: float = 120.0,
+    ) -> None:
+        if num_workers < 2:
+            raise ValueError("DataParallelEngine needs num_workers >= 2")
+        if not parallel_supported(num_workers):
+            raise RuntimeError("parallel execution is not supported here")
+        self.model = model
+        self.objective = objective
+        self.num_workers = int(num_workers)
+        self.max_batch = int(max_batch)
+        self._timeout = float(timeout)
+        self._params = list(model.parameters())
+        self._sizes = [int(p.data.size) for p in self._params]
+        self._total_size = sum(self._sizes)
+        self._pool: Optional[WorkerPool] = None
+        self._arena: Optional[ShmArena] = None
+        self._grad_total: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _start(self, inputs: np.ndarray, labels: np.ndarray, weights: np.ndarray) -> None:
+        from ..nn.tensor import get_default_dtype
+
+        capacity = max(self.max_batch, inputs.shape[0])
+        self.max_batch = capacity
+        param_dtype = self._params[0].data.dtype
+        specs = [
+            ArraySpec("params", (self._total_size,), np.dtype(param_dtype).str),
+            ArraySpec(
+                "grads",
+                (self.num_workers, self._total_size),
+                np.dtype(param_dtype).str,
+            ),
+            ArraySpec(
+                "inputs",
+                (capacity,) + tuple(inputs.shape[1:]),
+                np.dtype(inputs.dtype).str,
+            ),
+            ArraySpec("labels", (capacity,), np.dtype(np.int64).str),
+            ArraySpec("weights", (capacity,), np.dtype(weights.dtype).str),
+        ]
+        self._arena = ShmArena.create(specs)
+        self._grad_total = np.empty((self._total_size,), dtype=param_dtype)
+        # The model ships with zeroed tape state so it pickles cleanly
+        # under spawn; fork inherits it for free either way.
+        self.model.zero_grad()
+        payload = {
+            "handle": self._arena.handle(),
+            "model": self.model,
+            "objective": self.objective,
+            "dtype": np.dtype(get_default_dtype()).str,
+        }
+        self._pool = WorkerPool(
+            self.num_workers, _engine_worker, payload=payload, timeout=self._timeout
+        )
+
+    def _write_params(self) -> None:
+        flat = self._arena.view("params")
+        offset = 0
+        for param, size in zip(self._params, self._sizes):
+            flat[offset:offset + size] = param.data.reshape(-1)
+            offset += size
+
+    # ------------------------------------------------------------------
+    def train_step(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> StepStats:
+        """One synchronous data-parallel step over a mini-batch.
+
+        On return ``param.grad`` of every model parameter is the exact
+        full-batch gradient (summed over shards); the caller applies
+        the optimizer step.
+        """
+        n = int(inputs.shape[0])
+        if n == 0:
+            raise ValueError("cannot step on an empty batch")
+        if weights is None:
+            weights = np.ones((n,), dtype=np.float32)
+        if self._pool is None:
+            self._start(inputs, labels, weights)
+        if n > self.max_batch:
+            raise ValueError(
+                f"batch of {n} exceeds engine capacity {self.max_batch}"
+            )
+        self._write_params()
+        self._arena.view("inputs")[:n] = inputs
+        self._arena.view("labels")[:n] = labels
+        self._arena.view("weights")[:n] = weights
+
+        bounds = _shard_bounds(n, self.num_workers)
+        for rank, (lo, hi) in enumerate(bounds):
+            self._pool.send(rank, ("step", lo, hi))
+        partials = self._pool.gather()
+        u = sum(p[1] for p in partials)
+        v = sum(p[2] for p in partials)
+        w = sum(p[3] for p in partials)
+        correct = sum(p[4] for p in partials)
+
+        k_u, k_v, k_w = _coefficients(self.objective, n, u, v, w)
+        self._pool.broadcast(("coeff", k_u, k_v, k_w))
+        self._pool.gather()  # "done" acks — grad slab rows are complete
+
+        grads = self._arena.view("grads")
+        np.sum(grads, axis=0, out=self._grad_total)
+        offset = 0
+        for param, size in zip(self._params, self._sizes):
+            param.grad = self._grad_total[offset:offset + size].reshape(
+                param.data.shape
+            )
+            offset += size
+        return _batch_stats(self.objective, n, u, v, w, correct)
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def __enter__(self) -> "DataParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+def _engine_worker(rank: int, num_workers: int, pipe, payload) -> None:
+    """Worker side of the two-phase protocol (runs in a subprocess)."""
+    from .. import nn
+    from ..nn import functional as F
+    from ..nn.tensor import Tensor, set_default_dtype
+
+    set_default_dtype(np.dtype(payload["dtype"]).type)
+    arena = ShmArena.attach(payload["handle"])
+    model = payload["model"]
+    spec: ObjectiveSpec = payload["objective"]
+    model.train()
+
+    params = list(model.parameters())
+    sizes = [int(p.data.size) for p in params]
+    flat_params = arena.view("params")
+    # Bind every parameter onto the shared segment: the parent's
+    # post-optimizer writes become visible without any transport.
+    offset = 0
+    for param, size in zip(params, sizes):
+        param.data = flat_params[offset:offset + size].reshape(param.data.shape)
+        offset += size
+    inputs = arena.view("inputs")
+    labels = arena.view("labels")
+    weights = arena.view("weights")
+    grad_row = arena.view("grads")[rank]
+
+    try:
+        # Strict forward -> backward lockstep, so per-layer scratch
+        # reuse is safe in the workers too.
+        scratch_guard = F.train_scratch()
+        scratch_guard.__enter__()
+        while True:
+            message = pipe.recv()
+            if message[0] == "stop":
+                return
+            _, lo, hi = message
+            if hi > lo:
+                x = Tensor(inputs[lo:hi])
+                if spec.kind == "selective":
+                    logits, selection = model(x)
+                else:
+                    outputs = model(x)
+                    logits = outputs[0] if isinstance(outputs, tuple) else outputs
+                    selection = None
+                per_sample = nn.cross_entropy(
+                    logits, labels[lo:hi], reduction="none"
+                )
+                # Same float32 weight cast as the serial objective.
+                per_sample = per_sample * Tensor(
+                    np.asarray(weights[lo:hi], dtype=np.float32)
+                )
+                w_sum = per_sample.sum()
+                if selection is not None:
+                    u_sum = (per_sample * selection).sum()
+                    v_sum = selection.sum()
+                else:
+                    u_sum = v_sum = None
+                correct = int(
+                    (logits.data.argmax(axis=1) == labels[lo:hi]).sum()
+                )
+                pipe.send((
+                    "partial",
+                    float(u_sum.data) if u_sum is not None else 0.0,
+                    float(v_sum.data) if v_sum is not None else 0.0,
+                    float(w_sum.data),
+                    correct,
+                ))
+            else:  # empty shard: stay in protocol lockstep
+                w_sum = u_sum = v_sum = None
+                pipe.send(("partial", 0.0, 0.0, 0.0, 0))
+
+            message = pipe.recv()
+            if message[0] == "stop":  # parent aborted mid-step
+                return
+            _, k_u, k_v, k_w = message
+            model.zero_grad()
+            if w_sum is not None:
+                surrogate = k_w * w_sum
+                if u_sum is not None:
+                    surrogate = surrogate + k_u * u_sum + k_v * v_sum
+                surrogate.backward()
+            offset = 0
+            for param, size in zip(params, sizes):
+                if param.grad is None:
+                    grad_row[offset:offset + size] = 0
+                else:
+                    grad_row[offset:offset + size] = param.grad.reshape(-1)
+                offset += size
+            pipe.send(("done",))
+    finally:
+        arena.close()

@@ -1,0 +1,270 @@
+"""Multiprocessing worker pool with pipe control and BLAS pinning.
+
+The pool favours the ``fork`` start method (zero-copy inheritance of
+the model and dataset) and falls back to whatever the platform offers.
+Workers talk to the parent over one duplex pipe each; bulk ndarray data
+never rides the pipes — it lives in a :mod:`repro.parallel.shm` arena.
+
+Every worker pins the BLAS threadpools to one thread: with N processes
+each spinning the default OpenBLAS pool the machine oversubscribes
+N x cores threads and throughput collapses.  The parent's environment
+is only modified while the children are being spawned (they inherit
+it), then restored.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from .shm import HAVE_SHARED_MEMORY
+
+__all__ = [
+    "BLAS_ENV_VARS",
+    "blas_single_thread",
+    "pin_blas_threads",
+    "parallel_supported",
+    "WorkerPool",
+    "parallel_map",
+]
+
+#: Thread-count knobs of every BLAS/numexpr backend numpy may link.
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+class blas_single_thread:
+    """Context manager pinning BLAS env vars to ``1``, restoring the
+    previous values (including absence) on exit."""
+
+    def __enter__(self) -> "blas_single_thread":
+        self._saved = {var: os.environ.get(var) for var in BLAS_ENV_VARS}
+        for var in BLAS_ENV_VARS:
+            os.environ[var] = "1"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for var, value in self._saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+
+
+def pin_blas_threads() -> None:
+    """Pin BLAS threadpools to one thread (called inside each worker)."""
+    for var in BLAS_ENV_VARS:
+        os.environ[var] = "1"
+
+
+def parallel_supported(num_workers: int) -> bool:
+    """Whether multi-process execution is possible and worthwhile here.
+
+    False for ``num_workers <= 1``, when the platform lacks
+    ``multiprocessing.shared_memory``, or inside a daemon process
+    (daemons cannot have children) — callers fall back to serial.
+    """
+    if num_workers <= 1:
+        return False
+    if not HAVE_SHARED_MEMORY:
+        return False
+    if mp.current_process().daemon:
+        return False
+    return True
+
+
+def _start_method() -> str:
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class WorkerPool:
+    """``num_workers`` processes running ``worker_fn(rank, num_workers,
+    pipe, payload)``, each driven over its own duplex pipe.
+
+    ``payload`` is pickled once at start-up (under ``fork`` it is
+    inherited for free); per-step messages should be small tuples, with
+    array traffic going through a shared-memory arena.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        worker_fn: Callable,
+        payload: Any = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._timeout = float(timeout)
+        self._pipes: List[Any] = []
+        self._procs: List[Any] = []
+        ctx = mp.get_context(_start_method())
+        # Children inherit the pinned environment; the parent's own env
+        # is restored as soon as every worker has been started.
+        with blas_single_thread():
+            for rank in range(num_workers):
+                parent_end, child_end = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(worker_fn, rank, num_workers, child_end, payload),
+                    daemon=True,
+                )
+                proc.start()
+                child_end.close()
+                self._pipes.append(parent_end)
+                self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def send(self, rank: int, message: Any) -> None:
+        self._pipes[rank].send(message)
+
+    def broadcast(self, message: Any) -> None:
+        for pipe in self._pipes:
+            pipe.send(message)
+
+    def recv(self, rank: int, timeout: Optional[float] = None) -> Any:
+        """Receive one message, polling so a dead worker surfaces as a
+        RuntimeError instead of a hang."""
+        deadline = time.monotonic() + (self._timeout if timeout is None else timeout)
+        pipe = self._pipes[rank]
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(f"worker {rank} timed out")
+            if pipe.poll(min(remaining, 0.2)):
+                message = pipe.recv()
+                if isinstance(message, tuple) and message and message[0] == "__error__":
+                    raise RuntimeError(
+                        f"worker {rank} failed:\n{message[1]}"
+                    )
+                return message
+            if not self._procs[rank].is_alive():
+                # Drain anything flushed before death, then give up.
+                if pipe.poll(0):
+                    continue
+                raise RuntimeError(
+                    f"worker {rank} died (exit code "
+                    f"{self._procs[rank].exitcode})"
+                )
+
+    def gather(self, timeout: Optional[float] = None) -> List[Any]:
+        """One message from every worker, in rank order."""
+        return [self.recv(rank, timeout) for rank in range(self.num_workers)]
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop workers, join with a deadline, terminate stragglers."""
+        for rank, pipe in enumerate(self._pipes):
+            try:
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._pipes = []
+        self._procs = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _worker_entry(worker_fn, rank, num_workers, pipe, payload) -> None:
+    pin_blas_threads()
+    try:
+        worker_fn(rank, num_workers, pipe, payload)
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown races
+        pass
+    except Exception:  # surface the traceback in the parent
+        try:
+            pipe.send(("__error__", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        try:
+            pipe.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+def _map_worker(rank, num_workers, pipe, fn) -> None:
+    while True:
+        message = pipe.recv()
+        if message[0] == "stop":
+            return
+        _, index, item = message
+        try:
+            pipe.send(("ok", index, fn(item)))
+        except Exception:
+            pipe.send(("err", index, traceback.format_exc()))
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    num_workers: int = 1,
+    timeout: float = 600.0,
+) -> List[Any]:
+    """Order-preserving ``[fn(item) for item in items]`` across workers.
+
+    Items are dispatched one-at-a-time to whichever worker is free
+    (bounding pipe buffering and balancing uneven item costs).  Falls
+    back to a plain serial loop when :func:`parallel_supported` says
+    multiprocessing is not available, so callers can use it
+    unconditionally.  ``fn`` must be picklable under spawn start
+    methods — define it at module top level.
+    """
+    item_list = list(items)
+    if not item_list:
+        return []
+    workers = min(num_workers, len(item_list))
+    if not parallel_supported(workers):
+        return [fn(item) for item in item_list]
+
+    results: List[Any] = [None] * len(item_list)
+    with WorkerPool(workers, _map_worker, payload=fn, timeout=timeout) as pool:
+        cursor = 0
+        busy: List[Optional[int]] = [None] * workers
+        for rank in range(workers):
+            pool.send(rank, ("item", cursor, item_list[cursor]))
+            busy[rank] = cursor
+            cursor += 1
+        pending = len(item_list)
+        while pending:
+            for rank in range(workers):
+                if busy[rank] is None:
+                    continue
+                status, index, value = pool.recv(rank, timeout)
+                if status == "err":
+                    raise RuntimeError(f"parallel_map item {index} failed:\n{value}")
+                results[index] = value
+                pending -= 1
+                if cursor < len(item_list):
+                    pool.send(rank, ("item", cursor, item_list[cursor]))
+                    busy[rank] = cursor
+                    cursor += 1
+                else:
+                    busy[rank] = None
+    return results

@@ -1,0 +1,167 @@
+"""Shared-memory ndarray transport for the worker pool.
+
+A :class:`ShmArena` packs several named ndarrays into one
+``multiprocessing.shared_memory`` segment.  The parent creates the
+arena, ships a tiny picklable :meth:`ShmArena.handle` to each worker,
+and both sides then read/write the same physical pages — batches and
+gradients cross the process boundary without pickling a single float.
+
+Layout: arrays are placed back-to-back at 64-byte aligned offsets
+(cache-line / SIMD friendly), described by :class:`ArraySpec` entries
+that travel with the handle so workers can reconstruct every view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+    HAVE_SHARED_MEMORY = False
+
+__all__ = ["ArraySpec", "ShmArena", "HAVE_SHARED_MEMORY"]
+
+#: Alignment (bytes) of every array inside the segment.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Shape/dtype descriptor of one named array inside an arena."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str  # numpy dtype string, e.g. "<f4"
+
+    @property
+    def nbytes(self) -> int:
+        count = int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+        return count * np.dtype(self.dtype).itemsize
+
+
+def _offsets(specs: Sequence[ArraySpec]) -> Dict[str, int]:
+    offsets: Dict[str, int] = {}
+    cursor = 0
+    for spec in specs:
+        if spec.name in offsets:
+            raise ValueError(f"duplicate array name {spec.name!r}")
+        offsets[spec.name] = cursor
+        cursor += -(-spec.nbytes // _ALIGN) * _ALIGN
+    return offsets
+
+
+def _total_size(specs: Sequence[ArraySpec]) -> int:
+    offsets = _offsets(specs)
+    if not offsets:
+        return _ALIGN
+    last = specs[-1]
+    return max(offsets[last.name] + last.nbytes, _ALIGN)
+
+
+def _attach_segment(name: str):
+    """Open an existing segment without tracking it (worker side).
+
+    The creating process owns cleanup: its ``unlink()`` is the one
+    unregister the (process-tree-wide) resource tracker should see.
+    On Python >= 3.13 ``track=False`` expresses that directly; older
+    versions re-register on attach, which is harmless — registration
+    is a set add, and explicitly unregistering here instead would make
+    the parent's later ``unlink()`` a double-remove (KeyError noise in
+    the tracker)."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13 fallback
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShmArena:
+    """One shared-memory segment holding several named ndarray views."""
+
+    def __init__(self, segment, specs: List[ArraySpec], owner: bool) -> None:
+        self._segment = segment
+        self._specs = {spec.name: spec for spec in specs}
+        self._spec_list = specs
+        self._offsets = _offsets(specs)
+        self._owner = owner
+        self._views: Dict[str, np.ndarray] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, specs: Iterable[ArraySpec]) -> "ShmArena":
+        """Allocate a fresh segment sized for ``specs`` (parent side)."""
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        spec_list = list(specs)
+        segment = shared_memory.SharedMemory(
+            create=True, size=_total_size(spec_list)
+        )
+        return cls(segment, spec_list, owner=True)
+
+    def handle(self) -> Tuple[str, List[ArraySpec]]:
+        """Picklable token from which a worker can :meth:`attach`."""
+        return (self._segment.name, self._spec_list)
+
+    @classmethod
+    def attach(cls, handle: Tuple[str, List[ArraySpec]]) -> "ShmArena":
+        """Open the parent's segment inside a worker process."""
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        name, spec_list = handle
+        return cls(_attach_segment(name), list(spec_list), owner=False)
+
+    # ------------------------------------------------------------------
+    def view(self, name: str) -> np.ndarray:
+        """Ndarray view of one named array (cached per arena)."""
+        cached = self._views.get(name)
+        if cached is not None:
+            return cached
+        spec = self._specs[name]
+        view = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=self._segment.buf,
+            offset=self._offsets[name],
+        )
+        self._views[name] = view
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        return self._segment.size
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop views and unmap; the owner also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views.clear()
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - stray external views
+            pass
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

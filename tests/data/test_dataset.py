@@ -181,6 +181,45 @@ class TestBatchIterator:
         __, __, batch_weights = next(iter(batches))
         np.testing.assert_allclose(batch_weights, weights)
 
+    def test_uniform_fast_path_yields_ones(self):
+        dataset = make_dataset([7, 0, 0])
+        iterator = BatchIterator(dataset, batch_size=3, shuffle=False)
+        assert iterator._uniform
+        for __, labels, weights in iterator:
+            assert weights.shape == (len(labels),)
+            np.testing.assert_array_equal(weights, np.ones(len(labels), dtype=np.float32))
+
+    def test_weighted_dataset_skips_fast_path(self):
+        weights = np.linspace(0.1, 1.0, 7).astype(np.float32)
+        dataset = make_dataset([7, 0, 0], weights=weights)
+        assert not BatchIterator(dataset, batch_size=3)._uniform
+
+    @pytest.mark.parametrize("shuffle", [False, True])
+    def test_prefetch_yields_identical_batches(self, shuffle):
+        weights = np.linspace(0.2, 1.0, 13).astype(np.float32)
+        dataset = make_dataset([5, 5, 3], weights=weights)
+        plain = BatchIterator(
+            dataset, batch_size=4, rng=np.random.default_rng(9), shuffle=shuffle
+        )
+        prefetched = BatchIterator(
+            dataset, batch_size=4, rng=np.random.default_rng(9), shuffle=shuffle,
+            prefetch=True,
+        )
+        pairs = list(zip(list(plain), list(prefetched)))
+        assert len(pairs) == len(plain)
+        for (inputs_a, labels_a, weights_a), (inputs_b, labels_b, weights_b) in pairs:
+            np.testing.assert_array_equal(inputs_a, inputs_b)
+            np.testing.assert_array_equal(labels_a, labels_b)
+            np.testing.assert_array_equal(weights_a, weights_b)
+
+    def test_prefetch_drop_last(self):
+        dataset = make_dataset([10, 0, 0])
+        batches = list(
+            BatchIterator(dataset, batch_size=4, drop_last=True, prefetch=True)
+        )
+        assert len(batches) == 2
+        assert all(len(labels) == 4 for __, labels, __ in batches)
+
 
 @given(
     st.lists(st.integers(0, 12), min_size=3, max_size=3).filter(lambda c: sum(c) >= 6),

@@ -1,0 +1,129 @@
+"""Optimizer state round-trips and training-resume equivalence.
+
+The contract: training k steps, checkpointing model + optimizer, and
+continuing another k steps in a fresh process must follow exactly the
+same trajectory as 2k uninterrupted steps.  That only holds if every
+slot buffer (Adam m/v, SGD velocity, RMSProp cache), the step count
+(bias correction!) and ``weight_decay`` survive serialization.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def _make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    model = nn.Sequential(
+        nn.Dense(6, 8, rng=rng),
+        nn.ReLU(),
+        nn.Dense(8, 3, rng=rng),
+    )
+    return model
+
+
+def _make_batches(steps=4, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            rng.normal(size=(5, 6)).astype(np.float32),
+            rng.integers(0, 3, size=5).astype(np.int64),
+        )
+        for _ in range(steps)
+    ]
+
+
+def _train(model, optimizer, batches):
+    for inputs, labels in batches:
+        logits = model(nn.Tensor(inputs))
+        loss = nn.cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+
+OPTIMIZERS = {
+    "adam_wd": lambda params: nn.Adam(params, lr=1e-2, weight_decay=0.01),
+    "sgd_momentum": lambda params: nn.SGD(params, lr=1e-2, momentum=0.9),
+    "sgd_nesterov": lambda params: nn.SGD(
+        params, lr=1e-2, momentum=0.9, nesterov=True, weight_decay=0.005
+    ),
+    "rmsprop": lambda params: nn.RMSProp(params, lr=1e-3, weight_decay=0.002),
+}
+
+
+@pytest.mark.parametrize("name", sorted(OPTIMIZERS))
+def test_resume_matches_uninterrupted(name, tmp_path):
+    factory = OPTIMIZERS[name]
+    batches = _make_batches(steps=8)
+
+    # Reference: 8 uninterrupted steps.
+    reference = _make_model()
+    ref_optimizer = factory(reference.parameters())
+    _train(reference, ref_optimizer, batches)
+
+    # Interrupted: 4 steps, checkpoint, fresh objects, 4 more steps.
+    model = _make_model()
+    optimizer = factory(model.parameters())
+    _train(model, optimizer, batches[:4])
+    nn.save_model(model, tmp_path / "model.npz")
+    nn.save_optimizer(optimizer, tmp_path / "optim.npz")
+
+    resumed = _make_model(seed=123)  # different init, fully overwritten
+    resumed_optimizer = factory(resumed.parameters())
+    nn.load_model(resumed, tmp_path / "model.npz")
+    nn.load_optimizer(resumed_optimizer, tmp_path / "optim.npz")
+    _train(resumed, resumed_optimizer, batches[4:])
+
+    for (param_name, p_ref), (_, p_res) in zip(
+        reference.named_parameters(), resumed.named_parameters()
+    ):
+        np.testing.assert_array_equal(
+            p_ref.data, p_res.data,
+            err_msg=f"{name}: parameter {param_name} diverged after resume",
+        )
+
+
+def test_state_dict_round_trips_hyperparameters():
+    model = _make_model()
+    optimizer = nn.Adam(model.parameters(), lr=3e-4, weight_decay=0.02)
+    _train(model, optimizer, _make_batches(steps=2))
+
+    state = optimizer.state_dict()
+    assert state["weight_decay"] == pytest.approx(0.02)
+    assert state["step_count"] == 2
+    # One m and one v slot per parameter that received a gradient.
+    slot_keys = [key for key in state if key.startswith(("m.", "v."))]
+    assert len(slot_keys) == 2 * len(optimizer._m)
+
+    fresh = nn.Adam(model.parameters(), lr=1e-3)
+    fresh.load_state_dict(state)
+    assert fresh.weight_decay == pytest.approx(0.02)
+    assert fresh.lr == pytest.approx(3e-4)
+    assert fresh._step_count == 2
+    for index, m in optimizer._m.items():
+        np.testing.assert_array_equal(fresh._m[index], m)
+        np.testing.assert_array_equal(fresh._v[index], optimizer._v[index])
+
+
+def test_load_rejects_shape_mismatch():
+    model = _make_model()
+    optimizer = nn.SGD(model.parameters(), lr=1e-2, momentum=0.9)
+    _train(model, optimizer, _make_batches(steps=1))
+    state = optimizer.state_dict()
+    state["velocity.0"] = np.zeros((2, 2), dtype=np.float32)
+    fresh = nn.SGD(model.parameters(), lr=1e-2, momentum=0.9)
+    with pytest.raises(ValueError, match="shape"):
+        fresh.load_state_dict(state)
+
+
+def test_load_rejects_out_of_range_index():
+    model = _make_model()
+    optimizer = nn.SGD(model.parameters(), lr=1e-2, momentum=0.9)
+    _train(model, optimizer, _make_batches(steps=1))
+    state = optimizer.state_dict()
+    state["velocity.99"] = np.zeros((8, 6), dtype=np.float32)
+    fresh = nn.SGD(model.parameters(), lr=1e-2, momentum=0.9)
+    with pytest.raises(ValueError, match="99"):
+        fresh.load_state_dict(state)

@@ -1,0 +1,127 @@
+"""Serial vs data-parallel training must follow the same trajectory.
+
+The two-phase gradient protocol computes the exact full-batch gradient
+from per-shard partial sums, so N-worker training matches serial
+training up to float summation order.  Running under float64 makes the
+comparison tight enough for ``np.allclose`` with strict tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.augmentation import AugmentationConfig, augment_dataset
+from repro.core.cnn import BackboneConfig, WaferCNN
+from repro.core.selective import SelectiveNet
+from repro.core.trainer import TrainConfig, Trainer
+from repro.data.dataset import WaferDataset
+from repro.parallel import parallel_supported
+
+needs_parallel = pytest.mark.skipif(
+    not parallel_supported(2), reason="parallel execution unavailable"
+)
+
+TINY = BackboneConfig(
+    input_size=16, conv_channels=(4, 4), conv_kernels=(3, 3), fc_units=16, seed=7
+)
+
+
+def _dataset(n=40, size=16, num_classes=4, weighted=False, seed=0):
+    rng = np.random.default_rng(seed)
+    grids = rng.integers(0, 3, size=(n, size, size)).astype(np.uint8)
+    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+    weights = None
+    if weighted:
+        weights = rng.uniform(0.4, 1.0, size=n).astype(np.float32)
+    names = tuple(f"c{i}" for i in range(num_classes))
+    return WaferDataset(grids, labels, names, weights)
+
+
+def _params(model):
+    return [(name, param.data.copy()) for name, param in model.named_parameters()]
+
+
+def _assert_params_close(serial_model, parallel_model):
+    for (name, p_serial), (_, p_parallel) in zip(
+        _params(serial_model), _params(parallel_model)
+    ):
+        np.testing.assert_allclose(
+            p_serial, p_parallel, rtol=1e-9, atol=1e-11,
+            err_msg=f"parameter {name} diverged",
+        )
+
+
+@needs_parallel
+class TestTrainingEquivalence:
+    def _train_cnn(self, num_workers):
+        model = WaferCNN(4, TINY)
+        config = TrainConfig(
+            epochs=1, batch_size=8, seed=3, shuffle=False, num_workers=num_workers
+        )
+        history = Trainer(model, config).fit(_dataset())
+        return model, history
+
+    def test_cnn_two_workers_match_serial(self):
+        # 40 samples / batch 8 = 5 optimizer steps.
+        with nn.default_dtype(np.float64):
+            serial_model, serial_history = self._train_cnn(1)
+            parallel_model, parallel_history = self._train_cnn(2)
+        _assert_params_close(serial_model, parallel_model)
+        assert serial_history.final.loss == pytest.approx(
+            parallel_history.final.loss, rel=1e-9
+        )
+        assert serial_history.final.train_accuracy == parallel_history.final.train_accuracy
+
+    def _train_selective(self, num_workers):
+        model = SelectiveNet(4, TINY)
+        config = TrainConfig(
+            epochs=1,
+            batch_size=8,
+            seed=3,
+            shuffle=False,
+            target_coverage=0.7,
+            penalty_mode="hinge",
+            num_workers=num_workers,
+        )
+        history = Trainer(model, config).fit(_dataset(weighted=True))
+        return model, history
+
+    def test_selectivenet_three_workers_match_serial(self):
+        with nn.default_dtype(np.float64):
+            serial_model, serial_history = self._train_selective(1)
+            parallel_model, parallel_history = self._train_selective(3)
+        _assert_params_close(serial_model, parallel_model)
+        assert serial_history.final.loss == pytest.approx(
+            parallel_history.final.loss, rel=1e-9
+        )
+        assert serial_history.final.coverage == pytest.approx(
+            parallel_history.final.coverage, rel=1e-9
+        )
+
+
+class TestAugmentationDeterminism:
+    def _augment(self, num_workers):
+        rng = np.random.default_rng(1)
+        size = 16
+        # One majority class (untouched) and two minority classes.
+        grids = rng.integers(0, 3, size=(14, size, size)).astype(np.uint8)
+        labels = np.array([0] * 8 + [1] * 3 + [2] * 3, dtype=np.int64)
+        dataset = WaferDataset(grids, labels, ("maj", "min_a", "min_b"))
+        config = AugmentationConfig(
+            target_count=8, ae_epochs=1, ae_batch_size=4, realias_range=None, seed=0
+        )
+        return augment_dataset(dataset, config, num_workers=num_workers)
+
+    def test_worker_count_does_not_change_output(self):
+        if not parallel_supported(4):
+            pytest.skip("parallel execution unavailable")
+        serial = self._augment(1)
+        fanned = self._augment(4)
+        np.testing.assert_array_equal(serial.grids, fanned.grids)
+        np.testing.assert_array_equal(serial.labels, fanned.labels)
+        np.testing.assert_array_equal(serial.weights(), fanned.weights())
+
+    def test_repeat_runs_are_identical(self):
+        first = self._augment(1)
+        second = self._augment(1)
+        np.testing.assert_array_equal(first.grids, second.grids)

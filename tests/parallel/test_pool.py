@@ -1,0 +1,83 @@
+"""Worker pool: parallel_map semantics, fallback, and BLAS pinning."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import (
+    BLAS_ENV_VARS,
+    blas_single_thread,
+    parallel_map,
+    parallel_supported,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _scale_sum(arr):
+    return float(np.asarray(arr).sum() * 2)
+
+
+def _explode(x):
+    if x == 3:
+        raise ValueError(f"boom on {x}")
+    return x
+
+
+class TestParallelMap:
+    def test_serial_fallback_matches_map(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, num_workers=1) == [x * x for x in items]
+
+    def test_preserves_order_across_workers(self):
+        if not parallel_supported(2):
+            pytest.skip("parallel execution unavailable")
+        items = list(range(17))
+        result = parallel_map(_square, items, num_workers=2)
+        assert result == [x * x for x in items]
+
+    def test_matches_serial_on_arrays(self):
+        if not parallel_supported(2):
+            pytest.skip("parallel execution unavailable")
+        items = [np.arange(5) + i for i in range(6)]
+        serial = parallel_map(_scale_sum, items, num_workers=1)
+        fanned = parallel_map(_scale_sum, items, num_workers=2)
+        assert serial == fanned
+
+    def test_worker_error_propagates(self):
+        if not parallel_supported(2):
+            pytest.skip("parallel execution unavailable")
+        with pytest.raises(RuntimeError, match="boom on 3"):
+            parallel_map(_explode, list(range(6)), num_workers=2)
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], num_workers=4) == []
+
+
+class TestBlasPinning:
+    def test_context_sets_and_restores(self):
+        var = BLAS_ENV_VARS[0]
+        before = os.environ.get(var)
+        with blas_single_thread():
+            assert os.environ[var] == "1"
+        assert os.environ.get(var) == before
+
+    def test_restores_absence(self):
+        var = BLAS_ENV_VARS[1]
+        saved = os.environ.pop(var, None)
+        try:
+            with blas_single_thread():
+                assert os.environ[var] == "1"
+            assert var not in os.environ
+        finally:
+            if saved is not None:
+                os.environ[var] = saved
+
+
+class TestSupported:
+    def test_single_worker_is_not_parallel(self):
+        assert parallel_supported(1) is False
+        assert parallel_supported(0) is False

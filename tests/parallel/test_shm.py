@@ -1,0 +1,66 @@
+"""Shared-memory arena: layout, round-trips, and lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import (
+    HAVE_SHARED_MEMORY,
+    ArraySpec,
+    ShmArena,
+    _offsets,
+    _total_size,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY, reason="multiprocessing.shared_memory unavailable"
+)
+
+SPECS = [
+    ArraySpec("params", (7,), "<f4"),
+    ArraySpec("grads", (2, 7), "<f8"),
+    ArraySpec("labels", (5,), "<i8"),
+]
+
+
+class TestArraySpec:
+    def test_nbytes(self):
+        assert ArraySpec("x", (3, 4), "<f4").nbytes == 3 * 4 * 4
+
+    def test_offsets_are_aligned(self):
+        offsets = _offsets(SPECS)
+        for spec in SPECS:
+            assert offsets[spec.name] % 64 == 0
+        assert _total_size(SPECS) >= sum(spec.nbytes for spec in SPECS)
+
+
+class TestShmArena:
+    def test_create_view_roundtrip(self):
+        with ShmArena.create(SPECS) as arena:
+            params = arena.view("params")
+            assert params.shape == (7,)
+            assert params.dtype == np.float32
+            params[:] = np.arange(7, dtype=np.float32)
+            # A second view sees the same memory.
+            assert np.array_equal(arena.view("params"), np.arange(7))
+
+    def test_attach_sees_owner_writes(self):
+        with ShmArena.create(SPECS) as arena:
+            arena.view("labels")[:] = np.arange(5)
+            attached = ShmArena.attach(arena.handle())
+            try:
+                assert np.array_equal(attached.view("labels"), np.arange(5))
+                # Writes through the attachment are visible to the owner.
+                attached.view("grads")[1, 3] = 2.5
+                assert arena.view("grads")[1, 3] == 2.5
+            finally:
+                attached.close()
+
+    def test_unknown_name_raises(self):
+        with ShmArena.create(SPECS) as arena:
+            with pytest.raises(KeyError):
+                arena.view("nope")
+
+    def test_close_is_idempotent(self):
+        arena = ShmArena.create(SPECS)
+        arena.close()
+        arena.close()
