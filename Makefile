@@ -5,7 +5,7 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test bench bench-perf bench-parallel profile clean
+.PHONY: check test bench bench-perf bench-parallel bench-serve profile clean
 
 check:
 	sh scripts/check.sh
@@ -21,6 +21,9 @@ bench-perf:
 
 bench-parallel:
 	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite parallel --out-dir benchmarks/perf
+
+bench-serve:
+	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite serve --out-dir benchmarks/perf
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q -s --profile

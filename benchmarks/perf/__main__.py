@@ -1,9 +1,9 @@
 """CLI entry point: ``python -m benchmarks.perf [--smoke] [--out-dir D]``.
 
-Runs the inference, training, and parallel suites and writes
-``BENCH_infer.json``, ``BENCH_train.json``, and ``BENCH_parallel.json``
-into ``--out-dir`` (default: this package's directory, where the
-committed baselines live).
+Runs the inference, training, parallel, and serving suites and writes
+``BENCH_infer.json``, ``BENCH_train.json``, ``BENCH_parallel.json``,
+and ``BENCH_serve.json`` into ``--out-dir`` (default: this package's
+directory, where the committed baselines live).
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ import sys
 
 from .bench_infer import run_infer_suite
 from .bench_parallel import run_parallel_suite
+from .bench_serve import run_serve_suite
 from .bench_train import run_train_suite
 from .harness import write_suite
 
@@ -37,7 +38,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["infer", "train", "parallel", "all"],
+        choices=["infer", "train", "parallel", "serve", "all"],
         default="all",
         help="which suite(s) to run",
     )
@@ -59,6 +60,12 @@ def main(argv=None) -> int:
         cases = run_parallel_suite(smoke=args.smoke, repeats=min(args.repeats, 3))
         path = write_suite(
             os.path.join(args.out_dir, "BENCH_parallel.json"), "parallel", cases, smoke=args.smoke
+        )
+        _report(path, cases)
+    if args.suite in ("serve", "all"):
+        cases = run_serve_suite(smoke=args.smoke, repeats=min(args.repeats, 3))
+        path = write_suite(
+            os.path.join(args.out_dir, "BENCH_serve.json"), "serve", cases, smoke=args.smoke
         )
         _report(path, cases)
     return 0

@@ -18,6 +18,9 @@ python -m pytest -x -q
 echo "== parallel training smoke (2 workers) =="
 timeout 240 python -m repro.parallel.smoke
 
+echo "== serving smoke (batcher + cache + replicas) =="
+timeout 240 python -m repro.serve.smoke
+
 echo "== parallel equivalence tests =="
 timeout 300 python -m pytest tests/parallel -q
 
@@ -28,5 +31,6 @@ python -m benchmarks.perf --smoke --out-dir "$smoke_dir"
 test -s "$smoke_dir/BENCH_infer.json"
 test -s "$smoke_dir/BENCH_train.json"
 test -s "$smoke_dir/BENCH_parallel.json"
+test -s "$smoke_dir/BENCH_serve.json"
 
 echo "check: OK"

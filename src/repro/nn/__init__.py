@@ -45,7 +45,7 @@ from .layers import (
 )
 from .losses import binary_cross_entropy, cross_entropy, mse_loss, nll_loss, one_hot
 from .optim import SGD, Adam, ConstantLR, CosineLR, ExponentialLR, RMSProp, StepLR
-from .functional import train_scratch
+from .functional import free_inference_scratch, train_scratch
 from .serialization import load_model, load_optimizer, save_model, save_optimizer
 from .tensor import (
     Tensor,
@@ -111,5 +111,6 @@ __all__ = [
     "save_optimizer",
     "load_optimizer",
     "train_scratch",
+    "free_inference_scratch",
     "load_model",
 ]

@@ -23,6 +23,9 @@ Every operator has two execution paths:
 Unfolding (both paths) goes through a cached **im2col index map**: a
 read-only gather-index matrix keyed by ``(shape, kernel, stride,
 padding)`` that turns the window extraction into a single ``np.take``.
+The map cache is LRU-bounded by a byte budget
+(:func:`set_index_cache_budget`) so a long-running server seeing many
+input geometries cannot grow it without limit.
 The tape path additionally supports per-layer :class:`LayerScratch`
 buffers, consulted only inside the :class:`train_scratch` context, so
 a strict forward → backward → step training loop performs no large
@@ -36,6 +39,7 @@ operator, so returned arrays are always freshly owned.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -55,11 +59,14 @@ __all__ = [
     "conv_output_size",
     "clear_scratch",
     "scratch_nbytes",
+    "free_inference_scratch",
     "LayerScratch",
     "train_scratch",
     "is_train_scratch_enabled",
     "clear_index_cache",
     "index_cache_nbytes",
+    "index_cache_budget",
+    "set_index_cache_budget",
 ]
 
 IntPair = Union[int, Tuple[int, int]]
@@ -118,6 +125,19 @@ def clear_scratch() -> None:
 def scratch_nbytes() -> int:
     """Total bytes currently held by the inference scratch pool."""
     return _scratch.nbytes
+
+
+def free_inference_scratch() -> int:
+    """Release the inference scratch pool; returns the bytes freed.
+
+    The pool regrows lazily on the next :class:`~repro.nn.tensor
+    .inference_mode` forward, so this is safe to call whenever a
+    serving loop goes idle — it trades the next batch's allocations
+    for a zero steady-state footprint between traffic bursts.
+    """
+    freed = _scratch.nbytes
+    _scratch.clear()
+    return freed
 
 
 class _TrainScratchState:
@@ -196,8 +216,27 @@ class LayerScratch:
         self._buffers = {}
 
 
-#: Read-only im2col gather maps keyed by (C, H, W, kernel, stride, pad).
-_INDEX_CACHE: Dict[Tuple, np.ndarray] = {}
+#: Read-only im2col gather maps keyed by (C, H, W, kernel, stride, pad),
+#: in LRU order (oldest first) under the :func:`index_cache_budget`.
+_INDEX_CACHE: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+#: Byte budget for cached gather maps.  A fixed-geometry training loop
+#: needs a few MB; the budget only matters for long-running servers
+#: seeing many input shapes, where the cache would otherwise grow
+#: without limit.  64 MiB holds ~10 distinct Table-I geometries.
+_INDEX_CACHE_BUDGET = 64 * 1024 * 1024
+
+
+def _evict_index_cache() -> None:
+    """Drop least-recently-used gather maps until under budget.
+
+    The newest entry is never evicted even if it alone exceeds the
+    budget — the caller is about to use it, and evicted arrays stay
+    alive for any in-flight reference anyway (eviction only drops the
+    cache's own reference).
+    """
+    while len(_INDEX_CACHE) > 1 and index_cache_nbytes() > _INDEX_CACHE_BUDGET:
+        _INDEX_CACHE.popitem(last=False)
 
 
 def _im2col_index(
@@ -220,6 +259,7 @@ def _im2col_index(
     key = (c, h, w, kernel, stride, padding)
     cached = _INDEX_CACHE.get(key)
     if cached is not None:
+        _INDEX_CACHE.move_to_end(key)
         return cached
     kh, kw = kernel
     sh, sw = stride
@@ -237,6 +277,7 @@ def _im2col_index(
     index = np.ascontiguousarray(index, dtype=np.intp)
     index.setflags(write=False)
     _INDEX_CACHE[key] = index
+    _evict_index_cache()
     return index
 
 
@@ -248,6 +289,26 @@ def clear_index_cache() -> None:
 def index_cache_nbytes() -> int:
     """Total bytes currently held by cached im2col gather maps."""
     return sum(index.nbytes for index in _INDEX_CACHE.values())
+
+
+def index_cache_budget() -> int:
+    """Current byte budget of the im2col gather-map cache."""
+    return _INDEX_CACHE_BUDGET
+
+
+def set_index_cache_budget(nbytes: int) -> int:
+    """Set the gather-map cache budget; returns the previous budget.
+
+    Shrinking the budget evicts least-recently-used maps immediately
+    (except the single newest entry, which always survives).
+    """
+    global _INDEX_CACHE_BUDGET
+    if nbytes < 0:
+        raise ValueError("budget must be non-negative")
+    previous = _INDEX_CACHE_BUDGET
+    _INDEX_CACHE_BUDGET = int(nbytes)
+    _evict_index_cache()
+    return previous
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:

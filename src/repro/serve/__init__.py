@@ -1,0 +1,49 @@
+"""``repro.serve`` — high-throughput online inference engine.
+
+Turns the single-forward speedups of the nn fast path and the process
+machinery of :mod:`repro.parallel` into *serving throughput* for the
+paper's deployment setting (a fab classifying a continuous wafer
+stream, Sec. I / Fig. 1).  Four cooperating pieces:
+
+* :mod:`~repro.serve.batcher` — :class:`MicroBatcher`, dynamic
+  micro-batching with a size trigger and a latency deadline, plus
+  explicit :class:`Overloaded` backpressure;
+* :mod:`~repro.serve.cache` — :class:`ResultCache`, content-hash
+  (byte-exact or dihedral-canonical) LRU result cache under a byte
+  budget;
+* :mod:`~repro.serve.backend` — one in-process lane or N model
+  replicas in worker processes fed through a shared-memory arena;
+* :mod:`~repro.serve.engine` — :class:`ServeEngine`, tying the three
+  together with obs metrics, per-batch timer spans, and idle-time
+  scratch reclamation.
+
+>>> from repro.serve import ServeConfig, ServeEngine
+>>> engine = ServeEngine(model, ServeConfig(max_batch_size=32))   # doctest: +SKIP
+>>> result = engine.classify(grid)                                # doctest: +SKIP
+>>> result.label                                                  # doctest: +SKIP
+3
+
+``python -m repro.serve.smoke`` is the fast end-to-end check.
+"""
+
+from .backend import InProcessBackend, ReplicaPoolBackend, make_backend, model_infer_fn
+from .batcher import MicroBatcher, Overloaded
+from .cache import CachedResult, ResultCache, dihedral_key, exact_key
+from .engine import PendingResult, ServeConfig, ServeEngine, ServeResult
+
+__all__ = [
+    "MicroBatcher",
+    "Overloaded",
+    "ResultCache",
+    "CachedResult",
+    "exact_key",
+    "dihedral_key",
+    "InProcessBackend",
+    "ReplicaPoolBackend",
+    "make_backend",
+    "model_infer_fn",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeResult",
+    "PendingResult",
+]

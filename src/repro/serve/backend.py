@@ -1,0 +1,197 @@
+"""Inference backends: in-process serial and multi-process replicas.
+
+A backend exposes ``num_lanes`` independent inference lanes; a lane is
+safe to drive from exactly one thread at a time, and distinct lanes run
+concurrently.  The serving engine starts one runner thread per lane, so
+fan-out across replicas falls out of the lane count.
+
+* :class:`InProcessBackend` — one lane calling the model directly on
+  the caller's thread.  This is the serial fallback mirroring
+  :func:`repro.parallel.parallel_map`'s: platforms without usable
+  ``multiprocessing`` (or ``num_replicas <= 1``) serve with identical
+  results, just without process-level parallelism.
+* :class:`ReplicaPoolBackend` — N model replicas in separate processes
+  (:class:`repro.parallel.WorkerPool`, BLAS pinned to one thread each)
+  with batches and results crossing the process boundary through one
+  shared-memory :class:`repro.parallel.ShmArena` — a request never
+  pickles an ndarray after start-up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..parallel import ArraySpec, ShmArena, WorkerPool, parallel_supported
+
+__all__ = [
+    "InProcessBackend",
+    "ReplicaPoolBackend",
+    "make_backend",
+    "model_infer_fn",
+]
+
+#: ``infer_fn(inputs) -> (probabilities, selection_scores)`` over a
+#: float32 ``(B, 1, H, W)`` batch.
+InferFn = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+def model_infer_fn(model) -> InferFn:
+    """Adapt a repro model to the backend's ``(probs, scores)`` contract.
+
+    :class:`~repro.core.selective.SelectiveNet` exposes it directly via
+    ``predict_batched``; full-coverage models with only
+    ``predict_proba`` (:class:`~repro.core.cnn.WaferCNN`) get ``+inf``
+    selection scores, i.e. every sample is accepted at any threshold.
+    """
+    if hasattr(model, "predict_batched"):
+        return model.predict_batched
+    if hasattr(model, "predict_proba"):
+
+        def infer(inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            probabilities = model.predict_proba(inputs)
+            scores = np.full(len(probabilities), np.inf, dtype=probabilities.dtype)
+            return probabilities, scores
+
+        return infer
+    raise TypeError(
+        f"{type(model).__name__} has neither predict_batched nor predict_proba"
+    )
+
+
+class InProcessBackend:
+    """Single-lane backend running the model on the calling thread."""
+
+    num_lanes = 1
+
+    def __init__(self, infer_fn: InferFn) -> None:
+        self._infer_fn = infer_fn
+
+    def infer(self, lane: int, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self._infer_fn(inputs)
+
+    def reclaim(self) -> None:
+        """Free inference scratch between traffic bursts."""
+        F.free_inference_scratch()
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "InProcessBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _replica_worker(rank, num_workers, pipe, payload) -> None:
+    """Worker loop: bind the rank's arena slots, serve infer requests."""
+    model, handle, max_batch = payload
+    infer_fn = model_infer_fn(model)
+    with ShmArena.attach(handle) as arena:
+        inputs = arena.view(f"in{rank}")
+        probs = arena.view(f"probs{rank}")
+        scores = arena.view(f"scores{rank}")
+        while True:
+            message = pipe.recv()
+            if message[0] == "stop":
+                return
+            if message[0] == "reclaim":
+                F.free_inference_scratch()
+                continue
+            count = message[1]
+            p, s = infer_fn(inputs[:count])
+            probs[:count] = p
+            scores[:count] = s
+            pipe.send(("done", count))
+
+
+class ReplicaPoolBackend:
+    """N model replicas in separate processes, one lane per replica.
+
+    Each lane owns a private slice of the shared arena — an input slab
+    of ``(max_batch, 1, H, W)`` plus probability/score output rows — and
+    its own pipe, so all lanes can be in flight simultaneously.  The
+    parent copies a batch into the lane's slab, sends a two-int message,
+    and copies the results out when the worker acks.
+    """
+
+    def __init__(
+        self,
+        model,
+        num_replicas: int,
+        max_batch: int,
+        input_hw: Tuple[int, int],
+        num_classes: int,
+        timeout: float = 120.0,
+    ) -> None:
+        if num_replicas < 2:
+            raise ValueError("ReplicaPoolBackend needs >= 2 replicas")
+        if not parallel_supported(num_replicas):
+            raise RuntimeError("multi-process replicas unsupported on this platform")
+        self.num_lanes = int(num_replicas)
+        h, w = input_hw
+        specs = []
+        for rank in range(num_replicas):
+            specs.append(ArraySpec(f"in{rank}", (max_batch, 1, h, w), "<f4"))
+            specs.append(ArraySpec(f"probs{rank}", (max_batch, num_classes), "<f4"))
+            specs.append(ArraySpec(f"scores{rank}", (max_batch,), "<f4"))
+        self._arena = ShmArena.create(specs)
+        self._max_batch = int(max_batch)
+        try:
+            self._pool = WorkerPool(
+                num_replicas,
+                _replica_worker,
+                payload=(model, self._arena.handle(), max_batch),
+                timeout=timeout,
+            )
+        except BaseException:
+            self._arena.close()
+            raise
+
+    def infer(self, lane: int, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        count = len(inputs)
+        if count > self._max_batch:
+            raise ValueError(f"batch of {count} exceeds max_batch {self._max_batch}")
+        self._arena.view(f"in{lane}")[:count] = inputs
+        self._pool.send(lane, ("infer", count))
+        self._pool.recv(lane)
+        probabilities = self._arena.view(f"probs{lane}")[:count].copy()
+        scores = self._arena.view(f"scores{lane}")[:count].copy()
+        return probabilities, scores
+
+    def reclaim(self) -> None:
+        """Free inference scratch in the parent and every replica."""
+        F.free_inference_scratch()
+        try:
+            self._pool.broadcast(("reclaim",))
+        except (BrokenPipeError, OSError):  # pragma: no cover - shutdown race
+            pass
+
+    def close(self) -> None:
+        self._pool.shutdown()
+        self._arena.close()
+
+    def __enter__(self) -> "ReplicaPoolBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_backend(
+    model,
+    num_replicas: int,
+    max_batch: int,
+    input_hw: Tuple[int, int],
+    num_classes: int,
+    timeout: float = 120.0,
+):
+    """Replica pool when possible, in-process fallback otherwise."""
+    if num_replicas > 1 and parallel_supported(num_replicas):
+        return ReplicaPoolBackend(
+            model, num_replicas, max_batch, input_hw, num_classes, timeout=timeout
+        )
+    return InProcessBackend(model_infer_fn(model))

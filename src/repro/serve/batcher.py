@@ -1,0 +1,141 @@
+"""Dynamic micro-batching queue.
+
+Requests accumulate in a bounded pending queue; a consumer pulls them
+out in *batches* that flush on whichever comes first:
+
+* the batch reaches ``max_batch_size`` (steady-state traffic gets
+  full-batch GEMM efficiency), or
+* ``max_latency_s`` has elapsed since the **oldest** pending request
+  arrived (a lone wafer waits at most one deadline, bounding the
+  queueing component of single-request latency).
+
+There is no dispatcher thread: :meth:`MicroBatcher.get_batch` itself
+performs the accumulate-until-deadline wait, so each consumer (one per
+model replica) blocks directly on the shared condition variable.  Under
+a burst deeper than one batch, every consumer's size check trips
+immediately and full batches fan out to all replicas back-to-back.
+
+Backpressure is explicit: :meth:`put` raises :class:`Overloaded` when
+``queue_limit`` requests are already pending, so callers shed load with
+a definite signal instead of unbounded queue growth.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+__all__ = ["Overloaded", "MicroBatcher"]
+
+
+class Overloaded(RuntimeError):
+    """The pending queue is full; the request was shed, not enqueued."""
+
+
+class _Item:
+    __slots__ = ("value", "enqueued_at")
+
+    def __init__(self, value: Any, enqueued_at: float) -> None:
+        self.value = value
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Deadline/size dual-trigger batching queue (thread-safe)."""
+
+    def __init__(
+        self,
+        max_batch_size: int = 64,
+        max_latency_s: float = 0.005,
+        queue_limit: int = 1024,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_latency_s < 0:
+            raise ValueError("max_latency_s must be non-negative")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.max_batch_size = int(max_batch_size)
+        self.max_latency_s = float(max_latency_s)
+        self.queue_limit = int(queue_limit)
+        self._pending: Deque[_Item] = deque()
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of requests currently pending (not yet batched)."""
+        return len(self._pending)
+
+    def put(self, value: Any) -> None:
+        """Enqueue one request; raises :class:`Overloaded` when full."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            if len(self._pending) >= self.queue_limit:
+                raise Overloaded(
+                    f"pending queue full ({self.queue_limit} requests)"
+                )
+            self._pending.append(_Item(value, time.monotonic()))
+            self._cond.notify_all()
+
+    def get_batch(self, timeout: Optional[float] = None) -> Optional[List[Any]]:
+        """Block until a batch is ready; return its values.
+
+        Returns ``None`` when ``timeout`` elapses with nothing pending
+        (an *idle* tick — callers use it to reclaim scratch memory) or
+        when the batcher is closed and drained.
+        """
+        wait_deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            # Phase 1: wait for the first pending request.
+            while not self._pending:
+                if self._closed:
+                    return None
+                if wait_deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = wait_deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+            # Phase 2: accumulate until full or the oldest request's
+            # deadline expires.  Another consumer may win the race and
+            # drain the queue while we wait — loop back to phase 1.
+            while True:
+                if not self._pending:
+                    return self.get_batch(
+                        None if wait_deadline is None
+                        else max(0.0, wait_deadline - time.monotonic())
+                    )
+                if len(self._pending) >= self.max_batch_size or self._closed:
+                    break
+                flush_at = self._pending[0].enqueued_at + self.max_latency_s
+                remaining = flush_at - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch = [
+                self._pending.popleft().value
+                for _ in range(min(self.max_batch_size, len(self._pending)))
+            ]
+            self._cond.notify_all()
+            return batch
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting requests and wake every blocked consumer.
+
+        Pending requests remain fetchable (a close flushes rather than
+        drops), after which :meth:`get_batch` returns ``None``.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,446 @@
+"""The serving engine: micro-batcher + cache + backend + telemetry.
+
+:class:`ServeEngine` is the high-throughput front end to
+``SelectiveNet.predict_selective`` / ``WaferCNN.predict_proba`` for the
+paper's deployment story (Sec. I, Fig. 1): a fab classifying a
+continuous stream of wafer maps, accepting confident predictions and
+routing abstentions (``label == ABSTAIN``) to human review.
+
+Request lifecycle::
+
+    submit(grid)
+      ├─ cache hit  ──────────────────────────────► completed future
+      └─ cache miss ─► MicroBatcher (deadline/size)
+                          └─► runner thread (one per backend lane)
+                                └─► backend.infer(batch)  ─► futures
+
+Every lane (model replica) has a dedicated runner thread, so N
+replicas keep N batches in flight.  The engine records queue depth,
+cache hit counters, per-request latency and per-batch size/compute
+histograms into a :class:`repro.obs.MetricsRegistry`, per-batch spans
+into per-lane :class:`repro.obs.TimerTree`\\ s, and frees the nn
+inference scratch (parent *and* replicas) after ``idle_reclaim_s`` of
+silence so memory is reclaimed between traffic bursts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.selective import ABSTAIN
+from ..data.wafer import grid_to_tensor
+from ..nn import functional as F
+from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.timing import TimerTree
+from .backend import make_backend
+from .batcher import MicroBatcher, Overloaded
+from .cache import ResultCache
+
+__all__ = ["ServeConfig", "ServeResult", "PendingResult", "ServeEngine", "Overloaded"]
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the serving engine.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Flush a batch once this many requests are pending.
+    max_latency_ms:
+        Flush a partial batch once its oldest request has waited this
+        long — the queueing component of a lone request's latency is
+        bounded by this deadline (total latency adds one batch compute).
+    queue_limit:
+        Pending-queue bound; beyond it :meth:`ServeEngine.submit` sheds
+        with :class:`Overloaded` instead of queueing without limit.
+    cache_bytes:
+        Byte budget of the content-hash result cache; ``0`` disables
+        caching.
+    canonicalize:
+        Share cached results across dihedral (rotation/reflection)
+        twins — the paper's label-preserving-rotation assumption
+        (Algorithm 1) applied to serving.  Approximate; off by default.
+    num_replicas:
+        Model replicas.  ``> 1`` fans batches out across worker
+        processes when the platform supports it, else falls back to the
+        serial in-process lane.
+    threshold:
+        Override of the model's acceptance threshold ``tau`` (selection
+        logit); ``None`` uses ``model.threshold``.
+    idle_reclaim_s:
+        Idle seconds after which inference scratch is freed and memory
+        gauges refreshed.
+    """
+
+    max_batch_size: int = 64
+    max_latency_ms: float = 5.0
+    queue_limit: int = 1024
+    cache_bytes: int = 8 * 1024 * 1024
+    canonicalize: bool = False
+    num_replicas: int = 1
+    threshold: Optional[float] = None
+    idle_reclaim_s: float = 1.0
+    worker_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_latency_ms < 0:
+            raise ValueError("max_latency_ms must be non-negative")
+        if self.num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+
+
+@dataclass
+class ServeResult:
+    """One served classification.
+
+    ``label`` is :data:`~repro.core.selective.ABSTAIN` (-1) when the
+    selection head rejected the wafer (route to human review);
+    ``raw_label`` always carries the prediction head's argmax.
+    """
+
+    label: int
+    raw_label: int
+    selection_score: float
+    accepted: bool
+    probabilities: np.ndarray
+    cached: bool = False
+    latency_s: float = 0.0
+
+
+class PendingResult:
+    """Write-once future for one submitted request."""
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[ServeResult] = None
+        self._error: Optional[BaseException] = None
+
+    def _set(self, result: ServeResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """Block for the result; raises the backend's error on failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not completed within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class _Request:
+    __slots__ = ("tensor", "key", "submitted_at", "future")
+
+    def __init__(self, tensor, key, submitted_at, future) -> None:
+        self.tensor = tensor
+        self.key = key
+        self.submitted_at = submitted_at
+        self.future = future
+
+
+class ServeEngine:
+    """Batched, cached, replicated inference front end.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.selective.SelectiveNet` (selective
+        serving) or :class:`~repro.core.cnn.WaferCNN` (full coverage —
+        every request accepted).  The input geometry and class count
+        are read off the model.
+    config:
+        :class:`ServeConfig`; defaults are sensible for the Table-I
+        model.
+    registry:
+        Metrics sink; defaults to the process-global registry.
+    backend:
+        Injectable backend (tests); must expose ``num_lanes``,
+        ``infer(lane, inputs)``, ``reclaim()`` and ``close()``.  When
+        given, ``model`` may be ``None`` and ``input_hw`` /
+        ``num_classes`` describe the expected traffic.
+    """
+
+    def __init__(
+        self,
+        model=None,
+        config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        backend=None,
+        input_hw: Optional[Tuple[int, int]] = None,
+        num_classes: Optional[int] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self._registry = registry if registry is not None else default_registry()
+        if model is not None:
+            size = model.config.input_size
+            input_hw = (size, size) if input_hw is None else input_hw
+            num_classes = model.num_classes if num_classes is None else num_classes
+        elif backend is None:
+            raise ValueError("either a model or a backend is required")
+        self._input_hw = input_hw
+        self._num_classes = num_classes
+        tau = self.config.threshold
+        if tau is None:
+            tau = float(getattr(model, "threshold", 0.0))
+        self.threshold = float(tau)
+
+        self._backend = backend if backend is not None else make_backend(
+            model,
+            self.config.num_replicas,
+            self.config.max_batch_size,
+            input_hw,
+            num_classes,
+            timeout=self.config.worker_timeout_s,
+        )
+        self.cache: Optional[ResultCache] = None
+        if self.config.cache_bytes > 0:
+            self.cache = ResultCache(
+                max_bytes=self.config.cache_bytes,
+                canonicalize=self.config.canonicalize,
+            )
+        self._batcher = MicroBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_latency_s=self.config.max_latency_ms / 1000.0,
+            queue_limit=self.config.queue_limit,
+        )
+
+        # Telemetry instruments (get-or-create; shared registries fine).
+        reg = self._registry
+        self._requests = reg.counter("serve.requests_total")
+        self._shed = reg.counter("serve.shed_total")
+        self._errors = reg.counter("serve.errors_total")
+        self._batches = reg.counter("serve.batches_total")
+        self._cache_hits = reg.counter("serve.cache.hits")
+        self._cache_misses = reg.counter("serve.cache.misses")
+        self._queue_depth = reg.gauge("serve.queue_depth")
+        self._cache_bytes_gauge = reg.gauge("serve.cache.nbytes")
+        self._latency = reg.histogram("serve.latency_s")
+        self._batch_size_hist = reg.histogram("serve.batch.size")
+        self._batch_compute = reg.histogram("serve.batch.compute_s")
+        self._batch_total = reg.histogram("serve.batch.total_s")
+
+        #: One span tree per lane; TimerTree is single-threaded.
+        self.timers: Tuple[TimerTree, ...] = tuple(
+            TimerTree() for _ in range(self._backend.num_lanes)
+        )
+        self._idle_lock = threading.Lock()
+        self._reclaimed = True  # nothing to free before the first batch
+        self._closed = False
+        self._runners: List[threading.Thread] = []
+        for lane in range(self._backend.num_lanes):
+            thread = threading.Thread(
+                target=self._run_lane, args=(lane,), daemon=True,
+                name=f"serve-lane{lane}",
+            )
+            thread.start()
+            self._runners.append(thread)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, grid: np.ndarray) -> PendingResult:
+        """Enqueue one die grid; returns a :class:`PendingResult`.
+
+        Cache hits complete immediately.  Raises :class:`Overloaded`
+        (after counting the shed) when the pending queue is full.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        started = time.monotonic()
+        grid = np.asarray(grid)
+        self._validate(grid)
+        self._requests.inc()
+
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(grid)
+            entry = self.cache.get(key)
+            if entry is not None:
+                self._cache_hits.inc()
+                future = PendingResult()
+                future._set(self._finish(
+                    entry.probabilities, entry.score,
+                    cached=True, latency_s=time.monotonic() - started,
+                ))
+                self._latency.observe(time.monotonic() - started)
+                return future
+            self._cache_misses.inc()
+
+        request = _Request(grid_to_tensor(grid), key, started, PendingResult())
+        try:
+            self._batcher.put(request)
+        except Overloaded:
+            self._shed.inc()
+            raise
+        self._queue_depth.set(self._batcher.depth)
+        return request.future
+
+    def classify(self, grid: np.ndarray, timeout: Optional[float] = None) -> ServeResult:
+        """Synchronous single-wafer classification."""
+        return self.submit(grid).result(timeout)
+
+    def classify_many(
+        self, grids: Sequence[np.ndarray], timeout: Optional[float] = None
+    ) -> List[ServeResult]:
+        """Submit a sequence of grids, then gather all results in order.
+
+        The whole sequence is enqueued before the first wait, so it
+        must fit the ``queue_limit``; use :meth:`submit` directly for
+        open-ended streams.
+        """
+        futures = [self.submit(grid) for grid in grids]
+        return [future.result(timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Cache/queue snapshot for logs and benchmark payloads."""
+        return {
+            "queue_depth": self._batcher.depth,
+            "requests": self._requests.value,
+            "shed": self._shed.value,
+            "batches": self._batches.value,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    def timer_report(self, min_seconds: float = 0.0) -> str:
+        """Per-lane span report (batch / infer / complete)."""
+        blocks = []
+        for lane, tree in enumerate(self.timers):
+            blocks.append(f"lane {lane}\n{tree.format_report(min_seconds)}")
+        return "\n\n".join(blocks)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain pending requests, stop runners, shut the backend down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        for thread in self._runners:
+            thread.join(timeout=self.config.worker_timeout_s)
+        self._backend.close()
+
+    def __enter__(self) -> "ServeEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate(self, grid: np.ndarray) -> None:
+        if grid.ndim != 2:
+            raise ValueError(f"die grid must be 2-D, got shape {grid.shape}")
+        if self._input_hw is not None and grid.shape != self._input_hw:
+            raise ValueError(
+                f"grid shape {grid.shape} does not match the model's "
+                f"{self._input_hw}"
+            )
+
+    def _finish(
+        self, probabilities: np.ndarray, score: float, cached: bool, latency_s: float
+    ) -> ServeResult:
+        raw_label = int(np.argmax(probabilities))
+        accepted = bool(score >= self.threshold)
+        return ServeResult(
+            label=raw_label if accepted else ABSTAIN,
+            raw_label=raw_label,
+            selection_score=float(score),
+            accepted=accepted,
+            probabilities=np.array(probabilities, copy=True),
+            cached=cached,
+            latency_s=latency_s,
+        )
+
+    def _run_lane(self, lane: int) -> None:
+        tree = self.timers[lane]
+        staging = None
+        if self._input_hw is not None:
+            h, w = self._input_hw
+            staging = np.empty(
+                (self.config.max_batch_size, 1, h, w), dtype=np.float32
+            )
+        while True:
+            batch = self._batcher.get_batch(timeout=self.config.idle_reclaim_s)
+            if batch is None:
+                if self._batcher.closed:
+                    return
+                self._idle_reclaim()
+                continue
+            self._queue_depth.set(self._batcher.depth)
+            try:
+                self._process(lane, tree, batch, staging)
+            except BaseException as error:  # keep the lane alive
+                self._errors.inc()
+                for request in batch:
+                    request.future._fail(error)
+
+    def _process(self, lane: int, tree: TimerTree, batch, staging) -> None:
+        batch_started = time.monotonic()
+        with tree.span("batch"):
+            count = len(batch)
+            if staging is None:
+                inputs = np.stack([request.tensor for request in batch])
+            else:
+                inputs = staging[:count]
+                for i, request in enumerate(batch):
+                    inputs[i] = request.tensor
+            with tree.span("infer"):
+                compute_started = time.monotonic()
+                probabilities, scores = self._backend.infer(lane, inputs)
+                compute_s = time.monotonic() - compute_started
+            with tree.span("complete"):
+                completed = time.monotonic()
+                for i, request in enumerate(batch):
+                    score = float(scores[i])
+                    if self.cache is not None and request.key is not None:
+                        self.cache.put(request.key, probabilities[i], score)
+                    latency = completed - request.submitted_at
+                    request.future._set(self._finish(
+                        probabilities[i], score, cached=False, latency_s=latency,
+                    ))
+                    self._latency.observe(latency)
+        self._batches.inc()
+        self._batch_size_hist.observe(count)
+        self._batch_compute.observe(compute_s)
+        # A request flushed while this batch is in flight waits the whole
+        # staging + infer + completion span, not just the forward — the
+        # SLA bound "deadline + one batch time" is stated against this.
+        self._batch_total.observe(time.monotonic() - batch_started)
+        if self.cache is not None:
+            self._cache_bytes_gauge.set(self.cache.nbytes)
+        self._publish_memory_gauges()
+        with self._idle_lock:
+            self._reclaimed = False
+
+    def _idle_reclaim(self) -> None:
+        """Free inference scratch once per idle period (all lanes race)."""
+        with self._idle_lock:
+            if self._reclaimed:
+                return
+            self._reclaimed = True
+        self._backend.reclaim()
+        self._publish_memory_gauges()
+
+    def _publish_memory_gauges(self) -> None:
+        """Mirror nn memory introspection into the registry."""
+        self._registry.gauge("nn.index_cache_nbytes").set(F.index_cache_nbytes())
+        self._registry.gauge("nn.inference_scratch_nbytes").set(F.scratch_nbytes())

@@ -195,9 +195,19 @@ class TestBatchIterator:
         assert not BatchIterator(dataset, batch_size=3)._uniform
 
     @pytest.mark.parametrize("shuffle", [False, True])
-    def test_prefetch_yields_identical_batches(self, shuffle):
-        weights = np.linspace(0.2, 1.0, 13).astype(np.float32)
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_prefetch_yields_identical_batches(self, shuffle, weighted):
+        """Prefetching changes timing only — never the stream of batches.
+
+        13 samples at batch size 4 leave a short final batch, so the
+        equality also pins the non-divisible tail, on both the uniform
+        fast path and the weighted slow path.
+        """
+        weights = (
+            np.linspace(0.2, 1.0, 13).astype(np.float32) if weighted else None
+        )
         dataset = make_dataset([5, 5, 3], weights=weights)
+        assert BatchIterator(dataset, batch_size=4)._uniform is not weighted
         plain = BatchIterator(
             dataset, batch_size=4, rng=np.random.default_rng(9), shuffle=shuffle
         )
@@ -211,6 +221,18 @@ class TestBatchIterator:
             np.testing.assert_array_equal(inputs_a, inputs_b)
             np.testing.assert_array_equal(labels_a, labels_b)
             np.testing.assert_array_equal(weights_a, weights_b)
+        # Non-divisible tail: the last batch is the 13 % 4 = 1 remainder.
+        assert len(pairs[-1][1][1]) == 1
+
+    def test_prefetch_final_batch_not_duplicated(self):
+        """The staged-ahead gather must not replay or drop the tail."""
+        dataset = make_dataset([7, 3, 0])
+        batches = list(
+            BatchIterator(dataset, batch_size=4, shuffle=False, prefetch=True)
+        )
+        assert [len(labels) for __, labels, __ in batches] == [4, 4, 2]
+        all_labels = np.concatenate([labels for __, labels, __ in batches])
+        np.testing.assert_array_equal(all_labels, dataset.labels)
 
     def test_prefetch_drop_last(self):
         dataset = make_dataset([10, 0, 0])

@@ -188,3 +188,62 @@ class TestUpsample:
         x = rand_tensor((2, 3, 8, 8), rng)
         out = F.upsample2d(F.max_pool2d(x, 2), 2)
         assert out.shape == x.shape
+
+
+class TestIndexCacheBudget:
+    """LRU bounding of the im2col gather-map cache."""
+
+    # Distinct cache keys whose gather maps all have the same 8x8x9
+    # output geometry (input size shrinks as padding grows), so every
+    # entry costs the same bytes and the eviction arithmetic is exact.
+    GEOMETRIES = [(10, 0), (8, 1), (6, 2), (4, 3)]
+
+    def _fill(self, geometries):
+        """Populate the cache with one equal-sized map per geometry."""
+        for h, pad in geometries:
+            F._im2col_index(1, h, h, (3, 3), (1, 1), (pad, pad))
+
+    @staticmethod
+    def _cached_sizes():
+        return {key[1] for key in F._INDEX_CACHE}
+
+    def test_eviction_keeps_recently_used_under_budget(self):
+        previous = F.set_index_cache_budget(F.index_cache_budget())
+        F.clear_index_cache()
+        try:
+            self._fill(self.GEOMETRIES[:3])
+            assert len(F._INDEX_CACHE) == 3
+            per_entry = F.index_cache_nbytes() // 3
+            # Budget fits exactly two of the three maps.
+            F.set_index_cache_budget(2 * per_entry)
+            assert F.index_cache_nbytes() <= 2 * per_entry
+            # The oldest geometry was evicted; newer ones survive.
+            assert self._cached_sizes() == {8, 6}
+            # Touching a survivor refreshes it: after inserting a new
+            # geometry, the untouched one is the eviction victim.
+            F._im2col_index(1, 8, 8, (3, 3), (1, 1), (1, 1))
+            self._fill(self.GEOMETRIES[3:])
+            assert self._cached_sizes() == {8, 4}
+        finally:
+            F.set_index_cache_budget(previous)
+            F.clear_index_cache()
+
+    def test_newest_entry_survives_even_over_budget(self):
+        previous = F.set_index_cache_budget(1)  # nothing fits
+        F.clear_index_cache()
+        try:
+            index = F._im2col_index(1, 8, 8, (3, 3), (1, 1), (0, 0))
+            assert len(F._INDEX_CACHE) == 1  # caller's map is kept
+            again = F._im2col_index(1, 8, 8, (3, 3), (1, 1), (0, 0))
+            assert again is index  # and it is a genuine cache hit
+        finally:
+            F.set_index_cache_budget(previous)
+            F.clear_index_cache()
+
+    def test_set_budget_returns_previous_and_validates(self):
+        previous = F.index_cache_budget()
+        assert F.set_index_cache_budget(123) == previous
+        assert F.index_cache_budget() == 123
+        assert F.set_index_cache_budget(previous) == 123
+        with pytest.raises(ValueError):
+            F.set_index_cache_budget(-1)
