@@ -5,13 +5,16 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test bench bench-perf bench-parallel bench-serve profile clean
+.PHONY: check test chaos bench bench-perf bench-parallel bench-serve bench-resilience profile clean
 
 check:
 	sh scripts/check.sh
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+chaos:
+	PYTHONPATH=$(PYTHONPATH) python -m repro.resilience.smoke
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q
@@ -24,6 +27,9 @@ bench-parallel:
 
 bench-serve:
 	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite serve --out-dir benchmarks/perf
+
+bench-resilience:
+	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite resilience --out-dir benchmarks/perf
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q -s --profile

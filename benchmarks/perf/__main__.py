@@ -14,6 +14,7 @@ import sys
 
 from .bench_infer import run_infer_suite
 from .bench_parallel import run_parallel_suite
+from .bench_resilience import run_resilience_suite
 from .bench_serve import run_serve_suite
 from .bench_train import run_train_suite
 from .harness import write_suite
@@ -38,7 +39,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["infer", "train", "parallel", "serve", "all"],
+        choices=["infer", "train", "parallel", "serve", "resilience", "all"],
         default="all",
         help="which suite(s) to run",
     )
@@ -66,6 +67,13 @@ def main(argv=None) -> int:
         cases = run_serve_suite(smoke=args.smoke, repeats=min(args.repeats, 3))
         path = write_suite(
             os.path.join(args.out_dir, "BENCH_serve.json"), "serve", cases, smoke=args.smoke
+        )
+        _report(path, cases)
+    if args.suite in ("resilience", "all"):
+        cases = run_resilience_suite(smoke=args.smoke, repeats=min(args.repeats, 3))
+        path = write_suite(
+            os.path.join(args.out_dir, "BENCH_resilience.json"),
+            "resilience", cases, smoke=args.smoke,
         )
         _report(path, cases)
     return 0

@@ -21,8 +21,14 @@ timeout 240 python -m repro.parallel.smoke
 echo "== serving smoke (batcher + cache + replicas) =="
 timeout 240 python -m repro.serve.smoke
 
+echo "== chaos smoke (worker loss, checkpoint resume, replica loss) =="
+timeout 300 python -m repro.resilience.smoke
+
 echo "== parallel equivalence tests =="
 timeout 300 python -m pytest tests/parallel -q
+
+echo "== resilience tests =="
+timeout 300 python -m pytest tests/resilience -q
 
 echo "== perf benchmark smoke =="
 smoke_dir="$(mktemp -d)"
@@ -32,5 +38,6 @@ test -s "$smoke_dir/BENCH_infer.json"
 test -s "$smoke_dir/BENCH_train.json"
 test -s "$smoke_dir/BENCH_parallel.json"
 test -s "$smoke_dir/BENCH_serve.json"
+test -s "$smoke_dir/BENCH_resilience.json"
 
 echo "check: OK"

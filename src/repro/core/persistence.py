@@ -15,6 +15,8 @@ from typing import Union
 
 import numpy as np
 
+from ..nn.serialization import _read_npz
+from ..resilience.atomic import IntegrityError, atomic_savez
 from .cnn import BackboneConfig, WaferCNN
 from .pipeline import FullCoverageWaferClassifier, SelectiveWaferClassifier
 from .selective import SelectiveNet
@@ -58,23 +60,31 @@ def save_classifier(
 
     payload = {f"weights/{k}": v for k, v in classifier.model.state_dict().items()}
     payload["metadata"] = np.array(json.dumps(metadata))
-    directory = os.path.dirname(os.fspath(path))
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(os.fspath(path), **payload)
+    # Atomic write: a crash mid-save leaves the previous archive valid.
+    atomic_savez(path, **payload)
 
 
 def load_classifier(
     path: PathLike,
 ) -> Union[SelectiveWaferClassifier, FullCoverageWaferClassifier]:
-    """Rebuild a classifier pipeline saved by :func:`save_classifier`."""
-    with np.load(os.fspath(path)) as archive:
+    """Rebuild a classifier pipeline saved by :func:`save_classifier`.
+
+    Raises :class:`repro.resilience.IntegrityError` on truncated or
+    otherwise unreadable archives — nothing is constructed from a torn
+    file.
+    """
+    archive = _read_npz(path)
+    try:
         metadata = json.loads(str(archive["metadata"]))
-        weights = {
-            key[len("weights/"):]: archive[key]
-            for key in archive.files
-            if key.startswith("weights/")
-        }
+    except (KeyError, json.JSONDecodeError) as exc:
+        raise IntegrityError(
+            f"{os.fspath(path)}: missing or unparsable metadata: {exc}"
+        ) from exc
+    weights = {
+        key[len("weights/"):]: value
+        for key, value in archive.items()
+        if key.startswith("weights/")
+    }
 
     backbone = BackboneConfig(**metadata["backbone"])
     # conv tuples arrive as lists from JSON; normalize.

@@ -3,6 +3,24 @@
 The paper trains with Adam for 100 epochs, lambda = alpha = 0.5; the
 :class:`TrainConfig` defaults mirror that, with batch size and epochs
 scaled to what the numpy substrate can run in reasonable time.
+
+Fault tolerance (see :mod:`repro.resilience`):
+
+* ``checkpoint_dir`` enables crash-safe checkpoints — atomic
+  directories with CRC manifests covering model + optimizer + RNG +
+  epoch — and ``fit(..., resume="auto")`` restarts from the newest
+  *valid* one, skipping corrupt checkpoints with a warning.  Because
+  the shuffle RNG state is restored bit-exactly, the resumed
+  trajectory matches the uninterrupted run.
+* A :class:`~repro.resilience.TrainingWatchdog` inspects every batch
+  (non-finite loss / gradient explosions) *before* the optimizer step;
+  a trip rolls the model, optimizer, and RNG back to the last good
+  checkpoint with a learning-rate cut instead of poisoning the run.
+* Data-parallel training survives worker loss: the engine retries /
+  re-shards transparently, and on total pool degradation
+  (:class:`~repro.parallel.ParallelUnavailable`) the trainer finishes
+  the *same batch* — and the rest of the run — on the serial path, so
+  no step is skipped or double-applied.
 """
 
 from __future__ import annotations
@@ -10,12 +28,15 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from .. import nn
 from ..data.dataset import BatchIterator, WaferDataset
+from ..resilience.chaos import chaos_point
+from ..resilience.retry import RetryPolicy
+from ..resilience.watchdog import TrainingWatchdog
 from .cnn import WaferCNN
 from .losses import selectivenet_objective
 from .selective import SelectiveNet
@@ -26,6 +47,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports core)
 __all__ = ["TrainConfig", "EpochStats", "TrainHistory", "Trainer"]
 
 logger = logging.getLogger("repro.trainer")
+
+
+class _WatchdogTrip(Exception):
+    """Internal: a batch failed the health check before the optimizer
+    step was applied; carries the watchdog's reason string."""
+
+    def __init__(self, reason: str, epoch: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.epoch = epoch
 
 
 def _ensure_stream_handler() -> None:
@@ -70,6 +101,25 @@ class TrainConfig:
     #: training up to float summation order.  Silently falls back to
     #: serial where multiprocessing is unavailable.
     num_workers: int = 1
+    #: Respawn budget per lost parallel worker (exponential backoff);
+    #: 0 means a dead worker is never replaced and the pool shrinks.
+    worker_retries: int = 2
+    #: Directory for crash-safe checkpoints; ``None`` disables
+    #: checkpointing (and with it watchdog rollback and resume).
+    checkpoint_dir: Optional[str] = None
+    #: Epochs between checkpoints (the final epoch is always saved).
+    checkpoint_every: int = 1
+    #: Retention bound passed to the checkpoint manager (0 keeps all).
+    keep_checkpoints: int = 3
+    #: Watchdog bound on the pre-clip global gradient L2 norm; ``None``
+    #: disables the explosion check (non-finite values always trip).
+    grad_norm_limit: Optional[float] = None
+    #: Watchdog bound on the batch loss; ``None`` disables it.
+    loss_limit: Optional[float] = None
+    #: Learning-rate multiplier applied on each watchdog rollback.
+    rollback_lr_cut: float = 0.5
+    #: Watchdog rollbacks tolerated before the run fails loudly.
+    max_rollbacks: int = 2
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -82,6 +132,16 @@ class TrainConfig:
             raise ValueError("grad_clip must be positive when set")
         if self.early_stopping_patience is not None and self.early_stopping_patience <= 0:
             raise ValueError("early_stopping_patience must be positive when set")
+        if self.worker_retries < 0:
+            raise ValueError("worker_retries must be non-negative")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.keep_checkpoints < 0:
+            raise ValueError("keep_checkpoints must be non-negative")
+        if not 0.0 < self.rollback_lr_cut <= 1.0:
+            raise ValueError("rollback_lr_cut must be in (0, 1]")
+        if self.max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be non-negative")
 
 
 @dataclass
@@ -149,6 +209,23 @@ class Trainer:
         )
         self.history = TrainHistory()
         self._rng = np.random.default_rng(self.config.seed)
+        self.watchdog = TrainingWatchdog(
+            grad_norm_limit=self.config.grad_norm_limit,
+            loss_limit=self.config.loss_limit,
+        )
+        self._engine = None
+        self._checkpoints = None
+        if self.config.checkpoint_dir is not None:
+            from ..resilience.checkpoint import CheckpointManager
+
+            self._checkpoints = CheckpointManager(
+                self.config.checkpoint_dir, keep=self.config.keep_checkpoints
+            )
+        from ..obs.metrics import default_registry
+
+        reg = default_registry()
+        self._m_rollbacks = reg.counter("train.rollbacks")
+        self._m_watchdog = reg.counter("train.watchdog.trips")
 
     # ------------------------------------------------------------------
     def fit(
@@ -156,6 +233,7 @@ class Trainer:
         train: WaferDataset,
         validation: Optional[WaferDataset] = None,
         callback: Optional[Callable[[EpochStats], None]] = None,
+        resume: Optional[str] = None,
     ) -> TrainHistory:
         """Run the configured number of epochs; returns the history.
 
@@ -164,6 +242,12 @@ class Trainer:
         when a :class:`~repro.obs.events.RunLogger` was passed to the
         constructor, the config, every :class:`EpochStats`, and a final
         summary are appended to its JSONL stream.
+
+        ``resume="auto"`` restarts from the newest valid checkpoint in
+        ``config.checkpoint_dir`` (a no-op when none exists); a path
+        resumes from that specific checkpoint.  Model, optimizer, RNG,
+        and early-stopping bookkeeping are all restored, so the
+        resumed trajectory matches the uninterrupted run exactly.
         """
         if len(train) == 0:
             raise ValueError("cannot train on an empty dataset")
@@ -172,19 +256,50 @@ class Trainer:
             logger.setLevel(logging.INFO)
         if self.run_logger is not None:
             self.run_logger.log_config(self.config)
+        start_epoch = 1
+        best_val = -np.inf
+        epochs_without_improvement = 0
+        if resume is not None:
+            state = self._resume(resume)
+            if state is not None:
+                start_epoch = int(state["epoch"]) + 1
+                extra = state.get("extra") or {}
+                saved_best = extra.get("best_val")
+                best_val = -np.inf if saved_best is None else float(saved_best)
+                epochs_without_improvement = int(
+                    extra.get("epochs_without_improvement", 0)
+                )
         batches = BatchIterator(
             train,
             batch_size=self.config.batch_size,
             rng=self._rng,
             shuffle=self.config.shuffle,
         )
-        engine = self._make_engine()
+        self._engine = self._make_engine()
         started = time.perf_counter()
-        best_val = -np.inf
-        epochs_without_improvement = 0
+        rollbacks = 0
+        stop = False
         try:
-            for epoch in range(1, self.config.epochs + 1):
-                stats = self._run_epoch(epoch, batches, engine)
+            epoch = start_epoch
+            while epoch <= self.config.epochs and not stop:
+                self._check_engine_health()
+                try:
+                    stats = self._run_epoch(epoch, batches, self._engine)
+                except _WatchdogTrip as trip:
+                    state = self._rollback(trip, rollbacks)
+                    rollbacks += 1
+                    epoch = int(state["epoch"]) + 1
+                    extra = state.get("extra") or {}
+                    saved_best = extra.get("best_val")
+                    best_val = -np.inf if saved_best is None else float(saved_best)
+                    epochs_without_improvement = int(
+                        extra.get("epochs_without_improvement", 0)
+                    )
+                    self.history.epochs = [
+                        s for s in self.history.epochs
+                        if s.epoch <= int(state["epoch"])
+                    ]
+                    continue
                 if validation is not None:
                     stats.val_accuracy = self._quick_accuracy(validation)
                 self.history.append(stats)
@@ -209,11 +324,21 @@ class Trainer:
                             logger.info("early stop at epoch %d", epoch)
                             if self.run_logger is not None:
                                 self.run_logger.log("early_stop", epoch=epoch)
-                            break
+                            stop = True
+                if self._checkpoints is not None and (
+                    epoch % self.config.checkpoint_every == 0
+                    or epoch == self.config.epochs
+                    or stop
+                ):
+                    self._save_checkpoint(
+                        epoch, best_val, epochs_without_improvement
+                    )
+                epoch += 1
         finally:
-            if engine is not None:
-                engine.shutdown()
-        if self.run_logger is not None:
+            if self._engine is not None:
+                self._engine.shutdown()
+                self._engine = None
+        if self.run_logger is not None and self.history.epochs:
             final = self.history.final
             self.run_logger.log(
                 "train_summary",
@@ -225,6 +350,115 @@ class Trainer:
                 final_val_accuracy=final.val_accuracy,
             )
         return self.history
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _resume(self, resume: str) -> Optional[Dict[str, Any]]:
+        """Restore from a checkpoint; returns its state or ``None``.
+
+        ``"auto"`` picks the newest valid checkpoint (skipping corrupt
+        ones) and is a silent no-op on a fresh run; an explicit path
+        must validate or the :class:`~repro.resilience.IntegrityError`
+        propagates.
+        """
+        if resume == "auto":
+            if self._checkpoints is None:
+                return None
+            path = self._checkpoints.latest_valid()
+            if path is None:
+                return None
+        else:
+            if self._checkpoints is None:
+                raise ValueError(
+                    "resume from a path requires config.checkpoint_dir"
+                )
+            path = resume
+        state = self._checkpoints.load(path, self.model, self.optimizer)
+        if state.get("rng_state"):
+            self._checkpoints.restore_rng(self._rng, state["rng_state"])
+        logger.info("resumed from %s (epoch %d)", path, state["epoch"])
+        if self.run_logger is not None:
+            self.run_logger.log("resume", path=path, epoch=int(state["epoch"]))
+        return state
+
+    def _save_checkpoint(
+        self, epoch: int, best_val: float, epochs_without_improvement: int
+    ) -> None:
+        path = self._checkpoints.save(
+            epoch,
+            model=self.model,
+            optimizer=self.optimizer,
+            rng=self._rng,
+            extra={
+                "best_val": float(best_val) if np.isfinite(best_val) else None,
+                "epochs_without_improvement": int(epochs_without_improvement),
+            },
+        )
+        chaos_point("train.checkpoint.saved", path=path, epoch=epoch)
+
+    def _rollback(self, trip: _WatchdogTrip, rollbacks: int) -> Dict[str, Any]:
+        """Restore the last good checkpoint after a watchdog trip.
+
+        Cuts the learning rate by ``config.rollback_lr_cut`` so the
+        retried epochs do not immediately re-diverge.  Raises when no
+        checkpointing is configured, nothing valid exists, or the
+        rollback budget is spent — a run that cannot recover must fail
+        loudly rather than train on poisoned weights.
+        """
+        logger.warning(
+            "watchdog tripped at epoch %d: %s", trip.epoch, trip.reason
+        )
+        if self.run_logger is not None:
+            self.run_logger.log(
+                "watchdog_trip", epoch=trip.epoch, reason=trip.reason
+            )
+        if self._checkpoints is None:
+            raise RuntimeError(
+                f"training diverged ({trip.reason}) and no checkpoint_dir "
+                "is configured to roll back to"
+            )
+        if rollbacks >= self.config.max_rollbacks:
+            raise RuntimeError(
+                f"training diverged ({trip.reason}) after exhausting "
+                f"{self.config.max_rollbacks} rollback(s)"
+            )
+        path = self._checkpoints.latest_valid()
+        if path is None:
+            raise RuntimeError(
+                f"training diverged ({trip.reason}) with no valid "
+                "checkpoint to roll back to"
+            )
+        state = self._checkpoints.load(path, self.model, self.optimizer)
+        if state.get("rng_state"):
+            self._checkpoints.restore_rng(self._rng, state["rng_state"])
+        self.optimizer.lr *= self.config.rollback_lr_cut
+        self._m_rollbacks.inc()
+        logger.warning(
+            "rolled back to %s (epoch %d), lr cut to %.3g",
+            path, state["epoch"], self.optimizer.lr,
+        )
+        if self.run_logger is not None:
+            self.run_logger.log(
+                "rollback",
+                epoch=int(state["epoch"]),
+                lr=float(self.optimizer.lr),
+            )
+        return state
+
+    def _check_engine_health(self) -> None:
+        """Epoch-boundary heartbeat; drops to serial on pool loss."""
+        if self._engine is None:
+            return
+        from ..parallel import ParallelUnavailable
+
+        try:
+            self._engine.health_check()
+        except ParallelUnavailable:
+            logger.warning(
+                "data-parallel pool degraded; continuing this run serially"
+            )
+            self._engine = None
 
     # ------------------------------------------------------------------
     def _selective_mode(self) -> bool:
@@ -260,9 +494,14 @@ class Trainer:
             objective,
             num_workers=self.config.num_workers,
             max_batch=self.config.batch_size,
+            retry=RetryPolicy(
+                max_retries=self.config.worker_retries, seed=self.config.seed
+            ),
         )
 
     def _run_epoch(self, epoch: int, batches: BatchIterator, engine=None) -> EpochStats:
+        from ..parallel.engine import ParallelUnavailable
+
         self.model.train()
         started = time.perf_counter()
         total_loss = 0.0
@@ -277,8 +516,24 @@ class Trainer:
 
         with nn.train_scratch():
             for inputs, labels, weights in batches:
-                if engine is not None:
-                    step = engine.train_step(inputs, labels, weights)
+                chaos_point(
+                    "train.batch", epoch=epoch, inputs=inputs, labels=labels
+                )
+                step = None
+                if self._engine is not None:
+                    try:
+                        step = self._engine.train_step(inputs, labels, weights)
+                    except ParallelUnavailable:
+                        # The engine never published this batch's
+                        # gradients, so finishing it serially keeps the
+                        # trajectory intact — nothing skipped, nothing
+                        # double-applied.
+                        logger.warning(
+                            "data-parallel pool lost mid-epoch; "
+                            "continuing this run serially"
+                        )
+                        self._engine = None
+                if step is not None:
                     loss_value = step.loss
                     correct = step.correct
                     coverage_sum += step.coverage
@@ -315,6 +570,12 @@ class Trainer:
                     risk_sum += loss_value
 
                 norm = self._grad_norm()
+                reason = self.watchdog.check(loss_value, norm)
+                if reason is not None:
+                    # Checked before the optimizer step: poisoned
+                    # gradients must never touch the weights.
+                    self._m_watchdog.inc()
+                    raise _WatchdogTrip(reason, epoch)
                 grad_norm_sum += norm
                 if self.config.grad_clip is not None:
                     self._clip_gradients(self.config.grad_clip, norm=norm)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import os
 import time
 import uuid
@@ -33,6 +34,8 @@ from typing import Any, Dict, Iterator, List, Optional
 import numpy as np
 
 __all__ = ["SCHEMA_VERSION", "RunLogger", "load_run", "iter_records"]
+
+logger = logging.getLogger("repro.obs")
 
 SCHEMA_VERSION = 1
 
@@ -144,12 +147,20 @@ class RunLogger:
 
     # -- lifecycle -----------------------------------------------------
     def close(self, **data: Any) -> None:
-        """Write the ``run_end`` record and close the file."""
+        """Write the ``run_end`` record, fsync, and close the file.
+
+        The fsync makes the completed stream durable: a machine crash
+        right after ``close()`` cannot take the run's records with it.
+        """
         if self._closed:
             return
         self.log("run_end", **data)
         self._closed = True
         if self._file is not None:
+            try:
+                os.fsync(self._file.fileno())
+            except OSError:  # pragma: no cover - fsync unsupported
+                pass
             self._file.close()
             self._file = None
 
@@ -161,21 +172,37 @@ class RunLogger:
 
 
 def iter_records(path: str) -> Iterator[Dict[str, Any]]:
-    """Yield records from a JSONL event file (or a run directory)."""
+    """Yield records from a JSONL event file (or a run directory).
+
+    A *torn tail* — an unparsable **final** line with no trailing
+    newline, the signature of a process killed mid-append — is skipped
+    with a logged warning: every complete record before it is still
+    served.  An unparsable line anywhere else (or one that was fully
+    written, newline included) is real corruption and raises
+    ``ValueError``.
+    """
     if os.path.isdir(path):
         path = os.path.join(path, EVENTS_FILENAME)
     with open(path, "r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{line_number + 1}: malformed event record"
-                ) from exc
-            yield record
+        lines = handle.readlines()
+    for line_number, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            is_last = line_number == len(lines) - 1
+            if is_last and not raw.endswith("\n"):
+                logger.warning(
+                    "%s:%d: dropping torn final record (crash mid-append)",
+                    path, line_number + 1,
+                )
+                return
+            raise ValueError(
+                f"{path}:{line_number + 1}: malformed event record"
+            ) from exc
+        yield record
 
 
 def load_run(path: str, validate: bool = True) -> List[Dict[str, Any]]:

@@ -16,24 +16,37 @@ Everything degrades gracefully: when ``num_workers <= 1`` or the
 platform lacks ``multiprocessing.shared_memory``
 (:func:`parallel_supported` is the single gate), callers fall back to
 the serial code path with identical results.
+
+Supervision (see :mod:`repro.resilience`): worker crashes surface as
+:class:`WorkerCrashed`, the engine heartbeats / respawns workers and
+re-shards in-flight batches, and :class:`ParallelUnavailable` tells
+callers the pool degraded below usefulness — fall back to serial.
 """
 
-from .engine import DataParallelEngine, ObjectiveSpec, StepStats
+from .engine import (
+    DataParallelEngine,
+    ObjectiveSpec,
+    ParallelUnavailable,
+    StepStats,
+)
 from .pool import (
     BLAS_ENV_VARS,
+    WorkerCrashed,
     WorkerPool,
     blas_single_thread,
     parallel_map,
     parallel_supported,
     pin_blas_threads,
 )
-from .shm import HAVE_SHARED_MEMORY, ArraySpec, ShmArena
+from .shm import HAVE_SHARED_MEMORY, ArraySpec, ShmArena, reclaim_segment
 
 __all__ = [
     "ArraySpec",
     "ShmArena",
     "HAVE_SHARED_MEMORY",
+    "reclaim_segment",
     "WorkerPool",
+    "WorkerCrashed",
     "parallel_map",
     "parallel_supported",
     "pin_blas_threads",
@@ -42,4 +55,5 @@ __all__ = [
     "DataParallelEngine",
     "ObjectiveSpec",
     "StepStats",
+    "ParallelUnavailable",
 ]

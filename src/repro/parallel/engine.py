@@ -1,4 +1,4 @@
-"""Synchronous data-parallel training engine.
+"""Synchronous data-parallel training engine with worker supervision.
 
 Each step splits the mini-batch across N workers, runs forward/backward
 on the shards, and sums the shard gradients into the parent model's
@@ -28,19 +28,67 @@ per-worker gradient slab all live in one shared-memory arena
 (:mod:`repro.parallel.shm`), so no ndarray is ever pickled after
 start-up; workers bind their model parameters directly onto the arena
 views, making the parent's post-step weights visible for free.
+
+Fault tolerance.  Gradients are only applied after a *complete*
+attempt, so a step is idempotent and a crashed worker costs a retry,
+never a corrupted update:
+
+* A dead pipe, dead process, or missed per-call deadline surfaces as
+  :class:`~repro.parallel.pool.WorkerCrashed`; the parent aborts the
+  in-flight phase on the survivors (``abort``/``aborted`` handshake,
+  draining stale messages) and re-shards the same mini-batch across
+  whoever is left.
+* Lost workers are respawned under a bounded exponential-backoff
+  :class:`~repro.resilience.RetryPolicy`; a respawn only rejoins the
+  active set after answering a heartbeat ping.
+* When the active set degrades below two workers (data-parallel with
+  one shard is pure overhead) the engine shuts down and raises
+  :class:`ParallelUnavailable` — the trainer's signal to fall back to
+  the serial path.
+
+Every death, restart, and retried step increments a ``repro.obs``
+counter (``resilience.worker.deaths`` / ``.restarts``,
+``resilience.step.retries``).
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .pool import WorkerPool, parallel_supported
+from ..resilience.chaos import chaos_point
+from ..resilience.retry import RetryPolicy
+from .pool import WorkerCrashed, WorkerPool, parallel_supported
 from .shm import ArraySpec, ShmArena
 
-__all__ = ["ObjectiveSpec", "StepStats", "DataParallelEngine"]
+__all__ = [
+    "ObjectiveSpec",
+    "StepStats",
+    "DataParallelEngine",
+    "ParallelUnavailable",
+]
+
+logger = logging.getLogger("repro.parallel")
+
+
+class ParallelUnavailable(RuntimeError):
+    """The worker pool degraded below two usable workers.
+
+    Raised after the engine has already shut itself down; the caller
+    should continue on the serial code path (the trainer does exactly
+    that, so training survives total pool loss).
+    """
+
+
+class _StepFailure(Exception):
+    """Internal: one step attempt lost the listed worker ranks."""
+
+    def __init__(self, dead: Sequence[int]) -> None:
+        super().__init__(f"step lost workers {sorted(set(dead))}")
+        self.dead = list(dead)
 
 
 @dataclass(frozen=True)
@@ -130,7 +178,7 @@ def _batch_stats(
 
 
 class DataParallelEngine:
-    """Drives N workers through the two-phase protocol above.
+    """Drives N supervised workers through the two-phase protocol.
 
     The arena is sized lazily on the first :meth:`train_step` (batch
     geometry and dtypes are only known then).  After each step the
@@ -138,6 +186,10 @@ class DataParallelEngine:
     caller clips and applies the optimizer exactly as in serial
     training; the engine re-publishes the updated parameters at the
     start of the next step.
+
+    ``retry`` bounds worker respawns (per rank) and paces them with
+    exponential backoff; ``retry.max_retries == 0`` means a lost worker
+    is never replaced and the pool simply shrinks.
     """
 
     def __init__(
@@ -147,6 +199,8 @@ class DataParallelEngine:
         num_workers: int,
         max_batch: int,
         timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        registry=None,
     ) -> None:
         if num_workers < 2:
             raise ValueError("DataParallelEngine needs num_workers >= 2")
@@ -157,12 +211,21 @@ class DataParallelEngine:
         self.num_workers = int(num_workers)
         self.max_batch = int(max_batch)
         self._timeout = float(timeout)
+        self.retry = RetryPolicy() if retry is None else retry
         self._params = list(model.parameters())
         self._sizes = [int(p.data.size) for p in self._params]
         self._total_size = sum(self._sizes)
         self._pool: Optional[WorkerPool] = None
         self._arena: Optional[ShmArena] = None
         self._grad_total: Optional[np.ndarray] = None
+        self._active: set = set()
+        self._respawns: dict = {}
+        from ..obs.metrics import default_registry
+
+        reg = default_registry() if registry is None else registry
+        self._m_deaths = reg.counter("resilience.worker.deaths")
+        self._m_restarts = reg.counter("resilience.worker.restarts")
+        self._m_retries = reg.counter("resilience.step.retries")
 
     # ------------------------------------------------------------------
     def _start(self, inputs: np.ndarray, labels: np.ndarray, weights: np.ndarray) -> None:
@@ -200,6 +263,8 @@ class DataParallelEngine:
         self._pool = WorkerPool(
             self.num_workers, _engine_worker, payload=payload, timeout=self._timeout
         )
+        self._active = set(range(self.num_workers))
+        self._respawns = {}
 
     def _write_params(self) -> None:
         flat = self._arena.view("params")
@@ -220,6 +285,13 @@ class DataParallelEngine:
         On return ``param.grad`` of every model parameter is the exact
         full-batch gradient (summed over shards); the caller applies
         the optimizer step.
+
+        A worker crash mid-step triggers abort → recover → retry of the
+        *same* batch on the surviving (possibly respawned) workers;
+        only a fully successful attempt publishes gradients, so the
+        training trajectory is unaffected by the faults.  Raises
+        :class:`ParallelUnavailable` (after shutting down) once fewer
+        than two workers remain.
         """
         n = int(inputs.shape[0])
         if n == 0:
@@ -237,18 +309,73 @@ class DataParallelEngine:
         self._arena.view("labels")[:n] = labels
         self._arena.view("weights")[:n] = weights
 
-        bounds = _shard_bounds(n, self.num_workers)
-        for rank, (lo, hi) in enumerate(bounds):
-            self._pool.send(rank, ("step", lo, hi))
-        partials = self._pool.gather()
+        # Each failed attempt removes or respawns at least one worker,
+        # and respawns are bounded per rank, so this loop terminates.
+        attempts = self.num_workers * (self.retry.max_retries + 1) + 1
+        for _ in range(attempts):
+            if len(self._active) < 2:
+                break
+            try:
+                return self._step_once(n)
+            except _StepFailure as failure:
+                self._m_retries.inc()
+                self._recover(failure.dead)
+            except Exception:
+                # Worker-side logic error (deterministic — retrying
+                # cannot help) or an unexpected parent-side fault:
+                # release the pool and surface it.
+                self.shutdown()
+                raise
+        self.shutdown()
+        raise ParallelUnavailable(
+            "data-parallel pool degraded below two workers; "
+            "fall back to serial execution"
+        )
+
+    def _step_once(self, n: int) -> StepStats:
+        """One attempt at the two-phase protocol over the active set."""
+        active = sorted(self._active)
+        bounds = _shard_bounds(n, len(active))
+        dead: List[int] = []
+        delivered: List[int] = []
+        for rank, (lo, hi) in zip(active, bounds):
+            try:
+                self._pool.send(rank, ("step", lo, hi))
+                delivered.append(rank)
+            except (BrokenPipeError, OSError):
+                dead.append(rank)
+        if dead:
+            raise _StepFailure(dead + self._abort_ranks(delivered))
+
+        partials = []
+        for rank in active:
+            try:
+                partials.append(self._pool.recv(rank))
+            except WorkerCrashed:
+                dead.append(rank)
+        if dead:
+            survivors = [r for r in active if r not in dead]
+            raise _StepFailure(dead + self._abort_ranks(survivors))
         u = sum(p[1] for p in partials)
         v = sum(p[2] for p in partials)
         w = sum(p[3] for p in partials)
         correct = sum(p[4] for p in partials)
 
         k_u, k_v, k_w = _coefficients(self.objective, n, u, v, w)
-        self._pool.broadcast(("coeff", k_u, k_v, k_w))
-        self._pool.gather()  # "done" acks — grad slab rows are complete
+        for rank in active:
+            try:
+                self._pool.send(rank, ("coeff", k_u, k_v, k_w))
+            except (BrokenPipeError, OSError):
+                dead.append(rank)
+        if not dead:
+            for rank in active:
+                try:
+                    self._pool.recv(rank)  # "done" ack: grad row complete
+                except WorkerCrashed:
+                    dead.append(rank)
+        if dead:
+            survivors = [r for r in active if r not in dead]
+            raise _StepFailure(dead + self._abort_ranks(survivors))
 
         grads = self._arena.view("grads")
         np.sum(grads, axis=0, out=self._grad_total)
@@ -261,6 +388,90 @@ class DataParallelEngine:
         return _batch_stats(self.objective, n, u, v, w, correct)
 
     # ------------------------------------------------------------------
+    def _abort_ranks(self, ranks: Sequence[int]) -> List[int]:
+        """Return the listed workers to protocol top-level.
+
+        Sends the ``abort`` control message and drains stale in-flight
+        replies (``partial`` / ``done``) until each worker acknowledges
+        with ``aborted``.  Workers that die during the handshake are
+        returned as additional casualties.
+        """
+        casualties: List[int] = []
+        drain_timeout = min(self._timeout, 10.0)
+        for rank in ranks:
+            try:
+                self._pool.send(rank, ("abort",))
+            except (BrokenPipeError, OSError):
+                casualties.append(rank)
+                continue
+            while True:
+                try:
+                    message = self._pool.recv(rank, timeout=drain_timeout)
+                except RuntimeError:  # crashed, wedged, or errored
+                    casualties.append(rank)
+                    break
+                if message[0] == "aborted":
+                    break
+        return casualties
+
+    def _recover(self, dead: Sequence[int]) -> None:
+        """Process casualties: zero their gradient rows, log, and try
+        to respawn each under the retry policy's budget."""
+        grads = self._arena.view("grads")
+        for rank in sorted(set(dead)):
+            self._active.discard(rank)
+            grads[rank].fill(0)
+            self._m_deaths.inc()
+            logger.warning(
+                "parallel worker %d lost (exit code %s)",
+                rank,
+                self._pool.exitcode(rank),
+            )
+            used = self._respawns.get(rank, 0)
+            while used < self.retry.max_retries:
+                self.retry.sleep(used)
+                used += 1
+                self._respawns[rank] = used
+                try:
+                    self._pool.respawn(rank)
+                    self._pool.ping(rank, timeout=min(self._timeout, 30.0))
+                except (RuntimeError, OSError):
+                    continue
+                self._active.add(rank)
+                self._m_restarts.inc()
+                logger.info("parallel worker %d respawned", rank)
+                break
+
+    def health_check(self) -> None:
+        """Heartbeat every active worker, replacing unresponsive ones.
+
+        Raises :class:`ParallelUnavailable` (after shutdown) when the
+        pool has degraded below two workers.  Called by the trainer at
+        epoch boundaries; cost is one ping round-trip per worker.
+        """
+        if self._pool is None:
+            return
+        dead = []
+        for rank in sorted(self._active):
+            try:
+                self._pool.ping(rank, timeout=min(self._timeout, 30.0))
+            except WorkerCrashed:
+                dead.append(rank)
+        if dead:
+            self._recover(dead)
+        if len(self._active) < 2:
+            self.shutdown()
+            raise ParallelUnavailable(
+                "data-parallel pool degraded below two workers; "
+                "fall back to serial execution"
+            )
+
+    @property
+    def active_workers(self) -> int:
+        """Workers currently in the active set (0 before start-up)."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
     def shutdown(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
@@ -268,6 +479,7 @@ class DataParallelEngine:
         if self._arena is not None:
             self._arena.close()
             self._arena = None
+        self._active = set()
 
     def __enter__(self) -> "DataParallelEngine":
         return self
@@ -310,9 +522,18 @@ def _engine_worker(rank: int, num_workers: int, pipe, payload) -> None:
         scratch_guard.__enter__()
         while True:
             message = pipe.recv()
-            if message[0] == "stop":
+            tag = message[0]
+            if tag == "stop":
                 return
+            if tag == "ping":
+                chaos_point("parallel.worker.ping", rank=rank)
+                pipe.send(("pong", rank))
+                continue
+            if tag == "abort":  # nothing in flight — just acknowledge
+                pipe.send(("aborted",))
+                continue
             _, lo, hi = message
+            chaos_point("parallel.worker.step", rank=rank, lo=lo, hi=hi)
             if hi > lo:
                 x = Tensor(inputs[lo:hi])
                 if spec.kind == "selective":
@@ -348,23 +569,35 @@ def _engine_worker(rank: int, num_workers: int, pipe, payload) -> None:
                 w_sum = u_sum = v_sum = None
                 pipe.send(("partial", 0.0, 0.0, 0.0, 0))
 
-            message = pipe.recv()
-            if message[0] == "stop":  # parent aborted mid-step
-                return
-            _, k_u, k_v, k_w = message
-            model.zero_grad()
-            if w_sum is not None:
-                surrogate = k_w * w_sum
-                if u_sum is not None:
-                    surrogate = surrogate + k_u * u_sum + k_v * v_sum
-                surrogate.backward()
-            offset = 0
-            for param, size in zip(params, sizes):
-                if param.grad is None:
-                    grad_row[offset:offset + size] = 0
-                else:
-                    grad_row[offset:offset + size] = param.grad.reshape(-1)
-                offset += size
-            pipe.send(("done",))
+            # Phase 2: wait for the coefficients, servicing control
+            # messages; "abort" drops the step and returns to top.
+            while True:
+                message = pipe.recv()
+                tag = message[0]
+                if tag == "stop":
+                    return
+                if tag == "ping":
+                    chaos_point("parallel.worker.ping", rank=rank)
+                    pipe.send(("pong", rank))
+                    continue
+                if tag == "abort":
+                    pipe.send(("aborted",))
+                    break
+                _, k_u, k_v, k_w = message
+                model.zero_grad()
+                if w_sum is not None:
+                    surrogate = k_w * w_sum
+                    if u_sum is not None:
+                        surrogate = surrogate + k_u * u_sum + k_v * v_sum
+                    surrogate.backward()
+                offset = 0
+                for param, size in zip(params, sizes):
+                    if param.grad is None:
+                        grad_row[offset:offset + size] = 0
+                    else:
+                        grad_row[offset:offset + size] = param.grad.reshape(-1)
+                    offset += size
+                pipe.send(("done",))
+                break
     finally:
         arena.close()

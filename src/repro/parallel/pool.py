@@ -10,6 +10,15 @@ each spinning the default OpenBLAS pool the machine oversubscribes
 N x cores threads and throughput collapses.  The parent's environment
 is only modified while the children are being spawned (they inherit
 it), then restored.
+
+Supervision primitives (used by the resilient engine and serve
+backends): :meth:`WorkerPool.recv` raises :class:`WorkerCrashed` on a
+dead pipe / dead process / per-call deadline, so a crash is a typed
+event rather than a hang; :meth:`WorkerPool.ping` is the heartbeat
+probe; :meth:`WorkerPool.respawn` replaces a single dead or wedged
+worker in place; :meth:`WorkerPool.shutdown` escalates
+stop → join(grace) → terminate → kill so a wedged worker can never
+block exit forever.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ __all__ = [
     "blas_single_thread",
     "pin_blas_threads",
     "parallel_supported",
+    "WorkerCrashed",
     "WorkerPool",
     "parallel_map",
 ]
@@ -39,6 +49,20 @@ BLAS_ENV_VARS = (
     "NUMEXPR_NUM_THREADS",
     "VECLIB_MAXIMUM_THREADS",
 )
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died or missed its deadline.
+
+    Distinct from a plain ``RuntimeError`` carrying a worker-side
+    traceback (a *logic* error, which retrying cannot fix): a crash is
+    an infrastructure fault the supervision layer may recover from by
+    respawning the worker and re-sharding the in-flight work.
+    """
+
+    def __init__(self, message: str, rank: int) -> None:
+        super().__init__(message)
+        self.rank = rank
 
 
 class blas_single_thread:
@@ -93,6 +117,10 @@ class WorkerPool:
     ``payload`` is pickled once at start-up (under ``fork`` it is
     inherited for free); per-step messages should be small tuples, with
     array traffic going through a shared-memory arena.
+
+    Worker functions should answer a ``("ping",)`` message with
+    ``("pong", rank)`` so :meth:`ping` heartbeats and respawn readiness
+    probes work; the built-in worker loops all do.
     """
 
     def __init__(
@@ -101,28 +129,37 @@ class WorkerPool:
         worker_fn: Callable,
         payload: Any = None,
         timeout: float = 120.0,
+        shutdown_grace: float = 5.0,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if shutdown_grace < 0:
+            raise ValueError("shutdown_grace must be non-negative")
         self.num_workers = num_workers
         self._timeout = float(timeout)
-        self._pipes: List[Any] = []
-        self._procs: List[Any] = []
-        ctx = mp.get_context(_start_method())
+        self._shutdown_grace = float(shutdown_grace)
+        self._worker_fn = worker_fn
+        self._payload = payload
+        self._ctx = mp.get_context(_start_method())
+        self._pipes: List[Any] = [None] * num_workers
+        self._procs: List[Any] = [None] * num_workers
         # Children inherit the pinned environment; the parent's own env
         # is restored as soon as every worker has been started.
         with blas_single_thread():
             for rank in range(num_workers):
-                parent_end, child_end = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_entry,
-                    args=(worker_fn, rank, num_workers, child_end, payload),
-                    daemon=True,
-                )
-                proc.start()
-                child_end.close()
-                self._pipes.append(parent_end)
-                self._procs.append(proc)
+                self._spawn(rank)
+
+    def _spawn(self, rank: int) -> None:
+        parent_end, child_end = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_entry,
+            args=(self._worker_fn, rank, self.num_workers, child_end, self._payload),
+            daemon=True,
+        )
+        proc.start()
+        child_end.close()
+        self._pipes[rank] = parent_end
+        self._procs[rank] = proc
 
     # ------------------------------------------------------------------
     def send(self, rank: int, message: Any) -> None:
@@ -134,15 +171,28 @@ class WorkerPool:
 
     def recv(self, rank: int, timeout: Optional[float] = None) -> Any:
         """Receive one message, polling so a dead worker surfaces as a
-        RuntimeError instead of a hang."""
+        :class:`WorkerCrashed` instead of a hang.
+
+        The per-call deadline (``timeout``, defaulting to the pool's)
+        also raises :class:`WorkerCrashed` — a wedged-but-alive worker
+        is indistinguishable from a dead one to the caller, and the
+        supervision layer handles both by replacing it.
+        """
         deadline = time.monotonic() + (self._timeout if timeout is None else timeout)
         pipe = self._pipes[rank]
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                raise RuntimeError(f"worker {rank} timed out")
-            if pipe.poll(min(remaining, 0.2)):
-                message = pipe.recv()
+                raise WorkerCrashed(f"worker {rank} timed out", rank)
+            try:
+                ready = pipe.poll(min(remaining, 0.2))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrashed(f"worker {rank} pipe broke: {exc}", rank)
+            if ready:
+                try:
+                    message = pipe.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerCrashed(f"worker {rank} pipe closed: {exc}", rank)
                 if isinstance(message, tuple) and message and message[0] == "__error__":
                     raise RuntimeError(
                         f"worker {rank} failed:\n{message[1]}"
@@ -152,9 +202,10 @@ class WorkerPool:
                 # Drain anything flushed before death, then give up.
                 if pipe.poll(0):
                     continue
-                raise RuntimeError(
+                raise WorkerCrashed(
                     f"worker {rank} died (exit code "
-                    f"{self._procs[rank].exitcode})"
+                    f"{self._procs[rank].exitcode})",
+                    rank,
                 )
 
     def gather(self, timeout: Optional[float] = None) -> List[Any]:
@@ -162,20 +213,90 @@ class WorkerPool:
         return [self.recv(rank, timeout) for rank in range(self.num_workers)]
 
     # ------------------------------------------------------------------
-    def shutdown(self) -> None:
-        """Stop workers, join with a deadline, terminate stragglers."""
-        for rank, pipe in enumerate(self._pipes):
+    # Supervision
+    # ------------------------------------------------------------------
+    def alive(self, rank: int) -> bool:
+        proc = self._procs[rank]
+        return proc is not None and proc.is_alive()
+
+    def exitcode(self, rank: int) -> Optional[int]:
+        proc = self._procs[rank]
+        return None if proc is None else proc.exitcode
+
+    def ping(self, rank: int, timeout: Optional[float] = None) -> None:
+        """Heartbeat one worker; raises :class:`WorkerCrashed` on miss.
+
+        Stale in-flight messages from an aborted step are discarded
+        until the matching ``pong`` arrives.
+        """
+        try:
+            self.send(rank, ("ping",))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(f"worker {rank} pipe broke: {exc}", rank)
+        deadline = time.monotonic() + (self._timeout if timeout is None else timeout)
+        while True:
+            message = self.recv(rank, max(0.0, deadline - time.monotonic()))
+            if isinstance(message, tuple) and message and message[0] == "pong":
+                return
+
+    def kill(self, rank: int) -> None:
+        """Force-stop one worker (terminate, then SIGKILL)."""
+        proc = self._procs[rank]
+        if proc is None or not proc.is_alive():
+            return
+        proc.terminate()
+        proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - terminate ignored
+            proc.kill()
+            proc.join(timeout=1.0)
+
+    def respawn(self, rank: int) -> None:
+        """Replace one worker process in place (dead or wedged).
+
+        The old process is force-stopped, its pipe closed, and a fresh
+        process started with the same ``worker_fn`` / ``payload``.
+        Callers should :meth:`ping` afterwards to confirm readiness.
+        """
+        self.kill(rank)
+        old_pipe = self._pipes[rank]
+        if old_pipe is not None:
+            try:
+                old_pipe.close()
+            except OSError:  # pragma: no cover
+                pass
+        with blas_single_thread():
+            self._spawn(rank)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, grace: Optional[float] = None) -> None:
+        """Stop workers: stop message → join(grace) → terminate → kill.
+
+        Bounded even when a worker is wedged mid-computation and never
+        reads the stop message — after the grace period stragglers are
+        terminated, and a worker that survives ``SIGTERM`` is killed.
+        """
+        grace = self._shutdown_grace if grace is None else float(grace)
+        for pipe in self._pipes:
+            if pipe is None:
+                continue
             try:
                 pipe.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-        deadline = time.monotonic() + 5.0
+        deadline = time.monotonic() + grace
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=max(0.0, deadline - time.monotonic()))
-            if proc.is_alive():  # pragma: no cover - hung worker
+            if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=1.0)
         for pipe in self._pipes:
+            if pipe is None:
+                continue
             try:
                 pipe.close()
             except OSError:  # pragma: no cover
@@ -214,6 +335,9 @@ def _map_worker(rank, num_workers, pipe, fn) -> None:
         message = pipe.recv()
         if message[0] == "stop":
             return
+        if message[0] == "ping":
+            pipe.send(("pong", rank))
+            continue
         _, index, item = message
         try:
             pipe.send(("ok", index, fn(item)))

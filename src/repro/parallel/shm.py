@@ -13,6 +13,9 @@ that travel with the handle so workers can reconstruct every view.
 
 from __future__ import annotations
 
+import atexit
+import os
+import weakref
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -26,10 +29,65 @@ except ImportError:  # pragma: no cover
     shared_memory = None  # type: ignore[assignment]
     HAVE_SHARED_MEMORY = False
 
-__all__ = ["ArraySpec", "ShmArena", "HAVE_SHARED_MEMORY"]
+__all__ = ["ArraySpec", "ShmArena", "HAVE_SHARED_MEMORY", "reclaim_segment"]
 
 #: Alignment (bytes) of every array inside the segment.
 _ALIGN = 64
+
+# ----------------------------------------------------------------------
+# Leak guard: named segments outlive their creating process unless they
+# are unlinked, so every owner arena is tracked here and reclaimed by a
+# weakref finalizer (covers "owner object dropped without close()") and
+# an atexit sweep (covers "interpreter exits with live arenas").  The
+# registry records the owning pid because forked workers inherit it —
+# a child must never unlink segments its parent still uses.
+# ----------------------------------------------------------------------
+_OWNED_SEGMENTS: Dict[str, int] = {}
+_atexit_registered = False
+
+
+def reclaim_segment(name: str) -> bool:
+    """Unlink a named segment if it still exists; True when reclaimed.
+
+    Used by the leak guard and by supervisors cleaning up after a
+    killed owner process.
+    """
+    if not HAVE_SHARED_MEMORY:
+        return False
+    try:
+        segment = _attach_segment(name)
+    except (FileNotFoundError, OSError):
+        return False
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost the race
+        return False
+    finally:
+        segment.close()
+    return True
+
+
+def _register_owner(name: str) -> None:
+    global _atexit_registered
+    _OWNED_SEGMENTS[name] = os.getpid()
+    if not _atexit_registered:
+        atexit.register(_cleanup_owned_segments)
+        _atexit_registered = True
+
+
+def _unregister_owner(name: str) -> None:
+    _OWNED_SEGMENTS.pop(name, None)
+
+
+def _finalize_owner(name: str) -> None:
+    if _OWNED_SEGMENTS.get(name) == os.getpid():
+        _unregister_owner(name)
+        reclaim_segment(name)
+
+
+def _cleanup_owned_segments() -> None:
+    for name in list(_OWNED_SEGMENTS):
+        _finalize_owner(name)
 
 
 @dataclass(frozen=True)
@@ -92,6 +150,14 @@ class ShmArena:
         self._owner = owner
         self._views: Dict[str, np.ndarray] = {}
         self._closed = False
+        self._finalizer = None
+        if owner:
+            _register_owner(segment.name)
+            # The finalizer must not reference ``self`` or the segment
+            # object, or it would keep the arena alive forever.
+            self._finalizer = weakref.finalize(
+                self, _finalize_owner, segment.name
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -149,6 +215,9 @@ class ShmArena:
         except BufferError:  # pragma: no cover - stray external views
             pass
         if self._owner:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            _unregister_owner(self._segment.name)
             try:
                 self._segment.unlink()
             except FileNotFoundError:  # pragma: no cover

@@ -1,0 +1,125 @@
+"""Circuit breaker for per-replica serving lanes.
+
+The classic three-state machine: **closed** (traffic flows; failures
+are counted), **open** (traffic is routed to a fallback; the lane gets
+a rest), **half-open** (after ``reset_timeout_s`` one probe call is let
+through — success closes the breaker, failure re-opens it).  A serving
+lane whose replica process died would otherwise burn a full worker
+timeout on *every* batch; the breaker converts that into one timeout
+followed by fast-path fallback until the replica proves healthy again.
+
+The clock is injectable so tests drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe failure-rate gate around one unreliable resource.
+
+    Usage::
+
+        if breaker.allow():
+            try:
+                result = lane_call()
+                breaker.record_success()
+            except Exception:
+                breaker.record_failure()
+                result = fallback()
+        else:
+            result = fallback()
+
+    ``allow()`` in the open state returns ``False`` until
+    ``reset_timeout_s`` has elapsed, then lets exactly one probe through
+    (half-open); concurrent callers keep getting ``False`` until the
+    probe resolves.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_open: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._on_open = on_open
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._open_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def open_count(self) -> int:
+        """How many times the breaker has tripped open (monotonic)."""
+        return self._open_count
+
+    def allow(self) -> bool:
+        """Whether the protected call may proceed right now."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.reset_timeout_s:
+                    self._state = HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            # Half-open: one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """The protected call succeeded; close (or keep closed)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """The protected call failed; trip open once past threshold."""
+        fire = None
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip()
+                fire = self._on_open
+            else:
+                self._failures += 1
+                if self._state == CLOSED and self._failures >= self.failure_threshold:
+                    self._trip()
+                    fire = self._on_open
+        if fire is not None:
+            fire()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._failures = 0
+        self._probe_in_flight = False
+        self._opened_at = self._clock()
+        self._open_count += 1

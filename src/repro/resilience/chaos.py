@@ -1,0 +1,223 @@
+"""Deterministic fault injection for tests and the chaos smoke gate.
+
+Production code exposes named **fault points** — bare
+``chaos_point("parallel.worker.step", rank=rank)`` calls at the places
+where real systems fail.  With no plan active (the default, and the
+only state production ever runs in) a fault point is a dictionary probe
+and costs nanoseconds.  Tests and the smoke harness *activate* a
+:class:`ChaosPlan` mapping points to fault actions (kill the process,
+sleep past a deadline, truncate a file, poison a batch with NaNs), so
+failure scenarios are driven through the same code paths as real
+crashes — no monkeypatching of production internals.
+
+Worker processes inherit the active plan through ``fork`` (the pool's
+preferred start method), so a plan activated in the parent before the
+pool starts also fires inside workers.
+
+Cross-process one-shot semantics use a **token file**: a fault guarded
+by a token fires only if it can atomically ``unlink`` the token first.
+A respawned worker (fresh fork, fresh in-process counters) therefore
+does *not* re-fire a kill fault whose token was already consumed — the
+scenario "kill worker once, recover" stays deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "ChaosPlan",
+    "activate",
+    "deactivate",
+    "active_plan",
+    "chaos_point",
+    "make_token",
+    "kill_process",
+    "delay",
+    "truncate_file",
+    "poison_arrays",
+    "raise_error",
+]
+
+#: Exit code used by injected process kills (mirrors SIGKILL's 128+9).
+KILL_EXIT_CODE = 137
+
+
+class _Fault:
+    """One installed fault: an action plus its firing conditions."""
+
+    def __init__(
+        self,
+        action: Callable[[Dict[str, Any]], None],
+        after: int = 0,
+        times: Optional[int] = 1,
+        token: Optional[str] = None,
+        match: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.action = action
+        self.after = int(after)
+        self.times = times
+        self.token = token
+        self.match = dict(match or {})
+        self.calls = 0
+        self.fired = 0
+
+    def maybe_fire(self, ctx: Dict[str, Any]) -> None:
+        for key, expected in self.match.items():
+            if ctx.get(key) != expected:
+                return
+        self.calls += 1
+        if self.calls <= self.after:
+            return
+        if self.times is not None and self.fired >= self.times:
+            return
+        if self.token is not None and not _claim_token(self.token):
+            return
+        self.fired += 1
+        self.action(ctx)
+
+
+def _claim_token(path: str) -> bool:
+    """Atomically consume a one-shot token file; False if already gone."""
+    try:
+        os.unlink(path)
+        return True
+    except FileNotFoundError:
+        return False
+
+
+class ChaosPlan:
+    """A set of faults keyed by fault-point name."""
+
+    def __init__(self) -> None:
+        self._faults: Dict[str, List[_Fault]] = {}
+
+    def inject(
+        self,
+        point: str,
+        action: Callable[[Dict[str, Any]], None],
+        after: int = 0,
+        times: Optional[int] = 1,
+        token: Optional[str] = None,
+        **match: Any,
+    ) -> "ChaosPlan":
+        """Install ``action`` at ``point``.
+
+        ``after`` skips that many matching calls first; ``times`` caps
+        per-process firings (``None`` = unlimited); ``token`` is a
+        one-shot token-file path shared across processes; remaining
+        keyword arguments must equal the fault point's context for the
+        fault to fire (e.g. ``rank=1``).
+        """
+        self._faults.setdefault(point, []).append(
+            _Fault(action, after=after, times=times, token=token, match=match)
+        )
+        return self
+
+    def fire(self, point: str, ctx: Dict[str, Any]) -> None:
+        for fault in self._faults.get(point, ()):
+            fault.maybe_fire(ctx)
+
+    def points(self) -> List[str]:
+        return sorted(self._faults)
+
+
+#: The process-wide active plan (inherited by forked workers).
+_ACTIVE: Optional[ChaosPlan] = None
+
+
+def activate(plan: ChaosPlan) -> None:
+    """Make ``plan`` the process-wide active plan."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def deactivate() -> None:
+    """Clear the active plan (fault points become no-ops again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def active_plan(plan: ChaosPlan) -> Iterator[ChaosPlan]:
+    """Scope a plan to a ``with`` block (tests' entry point)."""
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        deactivate()
+
+
+def chaos_point(point: str, **ctx: Any) -> None:
+    """A named fault point; no-op unless a plan is active.
+
+    Production call sites pass whatever context the faults may need —
+    a worker rank, a file path, the batch arrays (for in-place
+    poisoning).
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan.fire(point, ctx)
+
+
+# ----------------------------------------------------------------------
+# Fault actions
+# ----------------------------------------------------------------------
+def make_token(directory: str, name: str = "chaos.token") -> str:
+    """Create a one-shot token file and return its path."""
+    path = os.path.join(directory, name)
+    with open(path, "wb"):
+        pass
+    return path
+
+
+def kill_process(ctx: Dict[str, Any]) -> None:
+    """Die instantly, skipping atexit/finally — a simulated SIGKILL."""
+    os._exit(KILL_EXIT_CODE)
+
+
+def delay(seconds: float) -> Callable[[Dict[str, Any]], None]:
+    """Stall the caller (simulates a wedged worker / slow heartbeat)."""
+
+    def act(ctx: Dict[str, Any]) -> None:
+        time.sleep(seconds)
+
+    return act
+
+
+def truncate_file(nbytes: int = 16, key: str = "path") -> Callable[[Dict[str, Any]], None]:
+    """Truncate the file named by ``ctx[key]`` to ``nbytes`` bytes."""
+
+    def act(ctx: Dict[str, Any]) -> None:
+        with open(ctx[key], "r+b") as handle:
+            handle.truncate(nbytes)
+
+    return act
+
+
+def poison_arrays(*keys: str) -> Callable[[Dict[str, Any]], None]:
+    """Overwrite the named context arrays with NaN in place.
+
+    Only float arrays can hold NaN; integer arrays raise, which is a
+    test-authoring error, not a runtime concern.
+    """
+
+    def act(ctx: Dict[str, Any]) -> None:
+        for key in keys:
+            ctx[key][...] = np.nan
+
+    return act
+
+
+def raise_error(exc: BaseException) -> Callable[[Dict[str, Any]], None]:
+    """Raise ``exc`` at the fault point (simulates an internal error)."""
+
+    def act(ctx: Dict[str, Any]) -> None:
+        raise exc
+
+    return act

@@ -1,0 +1,201 @@
+"""Crash-safe training checkpoints: atomic directories + CRC manifests.
+
+A checkpoint is one directory ``ckpt-<epoch>`` holding the model
+weights, the optimizer slots, the trainer's RNG state, and arbitrary
+extra bookkeeping, covered by a CRC32 :data:`~.atomic.MANIFEST_NAME`.
+Writes are staged in a temporary sibling directory and published with
+one ``rename``, so a ``SIGKILL`` at any instant leaves either the
+previous checkpoint set or the previous set plus one complete new
+checkpoint — never a torn directory that loads half a model.
+
+:meth:`CheckpointManager.latest_valid` is the resume entry point: it
+walks checkpoints newest-first, CRC-verifies each, and *skips* corrupt
+ones with a logged warning (counted in
+``train.checkpoint.corrupt_skipped``) instead of refusing to resume.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import shutil
+from typing import Any, Dict, List, Optional
+
+from .atomic import (
+    IntegrityError,
+    atomic_write_text,
+    fsync_directory,
+    verify_manifest,
+    write_manifest,
+)
+
+__all__ = ["CheckpointManager", "IntegrityError"]
+
+logger = logging.getLogger("repro.resilience")
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{5})$")
+_MODEL_FILE = "model.npz"
+_OPTIMIZER_FILE = "optimizer.npz"
+_STATE_FILE = "state.json"
+
+#: ``state.json`` schema version.
+STATE_SCHEMA = 1
+
+
+def _registry(registry):
+    if registry is not None:
+        return registry
+    from ..obs.metrics import default_registry
+
+    return default_registry()
+
+
+class CheckpointManager:
+    """Owns one checkpoint directory tree and its retention policy.
+
+    Parameters
+    ----------
+    directory:
+        Root under which ``ckpt-<epoch>`` directories are created.
+    keep:
+        Retention bound — after each save only the newest ``keep``
+        checkpoints survive (older ones are pruned).  ``0`` keeps all.
+    registry:
+        Metrics sink for save / corrupt-skip counters; defaults to the
+        process-global registry.
+    """
+
+    def __init__(self, directory: str, keep: int = 3, registry=None) -> None:
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        self.directory = os.fspath(directory)
+        self.keep = int(keep)
+        reg = _registry(registry)
+        self._saves = reg.counter("train.checkpoint.saves")
+        self._corrupt_skipped = reg.counter("train.checkpoint.corrupt_skipped")
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        epoch: int,
+        model=None,
+        optimizer=None,
+        rng=None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Write one complete checkpoint for ``epoch``; returns its path.
+
+        ``rng`` is a ``numpy.random.Generator`` whose bit-generator
+        state is captured so a resumed run consumes the exact same
+        shuffle stream as the uninterrupted one.
+        """
+        from ..nn.serialization import save_model, save_optimizer
+
+        final = os.path.join(self.directory, f"ckpt-{epoch:05d}")
+        staging = f"{final}.tmp.{os.getpid()}"
+        if os.path.isdir(staging):  # stale orphan from a crashed save
+            shutil.rmtree(staging)
+        os.makedirs(staging)
+        try:
+            members: List[str] = []
+            if model is not None:
+                save_model(model, os.path.join(staging, _MODEL_FILE))
+                members.append(_MODEL_FILE)
+            if optimizer is not None:
+                save_optimizer(optimizer, os.path.join(staging, _OPTIMIZER_FILE))
+                members.append(_OPTIMIZER_FILE)
+            state = {
+                "schema": STATE_SCHEMA,
+                "epoch": int(epoch),
+                "rng_state": None if rng is None else rng.bit_generator.state,
+                "extra": extra or {},
+            }
+            atomic_write_text(
+                os.path.join(staging, _STATE_FILE),
+                json.dumps(state, sort_keys=True) + "\n",
+            )
+            members.append(_STATE_FILE)
+            write_manifest(staging, members, extra={"epoch": int(epoch)})
+            # Publish: move any previous same-epoch checkpoint aside
+            # (rollback re-runs epochs), then one atomic rename.
+            if os.path.isdir(final):
+                shutil.rmtree(final)
+            os.rename(staging, final)
+            fsync_directory(self.directory)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self._saves.inc()
+        self._prune()
+        return final
+
+    # ------------------------------------------------------------------
+    def checkpoints(self) -> List[str]:
+        """All checkpoint paths, oldest first (no validity check)."""
+        if not os.path.isdir(self.directory):
+            return []
+        found = []
+        for name in os.listdir(self.directory):
+            match = _CKPT_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), os.path.join(self.directory, name)))
+        return [path for _, path in sorted(found)]
+
+    def validate(self, path: str) -> Dict[str, Any]:
+        """CRC-verify one checkpoint and return its ``state.json``."""
+        verify_manifest(path)
+        try:
+            with open(os.path.join(path, _STATE_FILE), "r", encoding="utf-8") as fh:
+                state = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise IntegrityError(f"{path}: unreadable state.json: {exc}") from exc
+        if state.get("schema", 0) > STATE_SCHEMA:
+            raise IntegrityError(
+                f"{path}: state schema {state.get('schema')} is newer than "
+                f"supported version {STATE_SCHEMA}"
+            )
+        return state
+
+    def latest_valid(self) -> Optional[str]:
+        """Newest checkpoint that passes validation, skipping corrupt
+        ones with a warning; ``None`` when nothing valid exists."""
+        for path in reversed(self.checkpoints()):
+            try:
+                self.validate(path)
+                return path
+            except IntegrityError as exc:
+                self._corrupt_skipped.inc()
+                logger.warning("skipping corrupt checkpoint %s: %s", path, exc)
+        return None
+
+    # ------------------------------------------------------------------
+    def load(self, path: str, model=None, optimizer=None) -> Dict[str, Any]:
+        """Restore ``model`` / ``optimizer`` from a verified checkpoint.
+
+        Returns the state mapping (``epoch``, ``rng_state``, ``extra``).
+        Verification happens *before* any mutation, so a corrupt
+        checkpoint raises :class:`IntegrityError` without half-loading.
+        """
+        from ..nn.serialization import load_model, load_optimizer
+
+        state = self.validate(path)
+        if model is not None:
+            load_model(model, os.path.join(path, _MODEL_FILE))
+        if optimizer is not None:
+            load_optimizer(optimizer, os.path.join(path, _OPTIMIZER_FILE))
+        return state
+
+    @staticmethod
+    def restore_rng(rng, rng_state: Dict[str, Any]) -> None:
+        """Load a captured bit-generator state back into ``rng``."""
+        rng.bit_generator.state = rng_state
+
+    # ------------------------------------------------------------------
+    def _prune(self) -> None:
+        if self.keep == 0:
+            return
+        stale = self.checkpoints()[:-self.keep]
+        for path in stale:
+            shutil.rmtree(path, ignore_errors=True)

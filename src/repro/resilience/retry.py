@@ -1,0 +1,70 @@
+"""Bounded exponential-backoff retry policy with deterministic jitter.
+
+Respawning a crashed worker immediately can hot-loop when the crash
+cause is environmental (OOM killer, disk full); backing off
+exponentially with jitter is the standard fix.  The jitter here is
+*derived from the seed and the attempt number*, not from global
+randomness, so a faulted training run remains bit-reproducible — the
+same seed produces the same recovery timeline.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed component, and how fast.
+
+    ``max_retries=0`` disables retrying entirely — the first failure is
+    terminal and callers degrade immediately (e.g. the data-parallel
+    engine falls back to serial execution).
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    # ------------------------------------------------------------------
+    def delay_s(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (0-based).
+
+        ``min(max_delay, base * 2**attempt)`` scaled by a deterministic
+        jitter factor in ``[1, 1 + jitter]`` drawn from
+        ``(seed, attempt)`` — identical across runs with the same seed.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        base = min(self.max_delay_s, self.base_delay_s * (2.0 ** attempt))
+        if self.jitter == 0 or base == 0:
+            return base
+        rng = random.Random(self.seed * 1000003 + attempt)
+        return base * (1.0 + self.jitter * rng.random())
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule, one delay per allowed retry."""
+        for attempt in range(self.max_retries):
+            yield self.delay_s(attempt)
+
+    def sleep(self, attempt: int) -> float:
+        """Sleep for :meth:`delay_s` and return the slept duration."""
+        delay = self.delay_s(attempt)
+        if delay > 0:
+            time.sleep(delay)
+        return delay

@@ -29,11 +29,18 @@ stream, Sec. I / Fig. 1).  Four cooperating pieces:
 from .backend import InProcessBackend, ReplicaPoolBackend, make_backend, model_infer_fn
 from .batcher import MicroBatcher, Overloaded
 from .cache import CachedResult, ResultCache, dihedral_key, exact_key
-from .engine import PendingResult, ServeConfig, ServeEngine, ServeResult
+from .engine import (
+    InvalidInput,
+    PendingResult,
+    ServeConfig,
+    ServeEngine,
+    ServeResult,
+)
 
 __all__ = [
     "MicroBatcher",
     "Overloaded",
+    "InvalidInput",
     "ResultCache",
     "CachedResult",
     "exact_key",

@@ -19,12 +19,20 @@ fan-out across replicas falls out of the lane count.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+import logging
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..nn import functional as F
-from ..parallel import ArraySpec, ShmArena, WorkerPool, parallel_supported
+from ..parallel import (
+    ArraySpec,
+    ShmArena,
+    WorkerCrashed,
+    WorkerPool,
+    parallel_supported,
+)
+from ..resilience.chaos import chaos_point
 
 __all__ = [
     "InProcessBackend",
@@ -32,6 +40,8 @@ __all__ = [
     "make_backend",
     "model_infer_fn",
 ]
+
+logger = logging.getLogger("repro.serve")
 
 #: ``infer_fn(inputs) -> (probabilities, selection_scores)`` over a
 #: float32 ``(B, 1, H, W)`` batch.
@@ -98,10 +108,14 @@ def _replica_worker(rank, num_workers, pipe, payload) -> None:
             message = pipe.recv()
             if message[0] == "stop":
                 return
+            if message[0] == "ping":
+                pipe.send(("pong", rank))
+                continue
             if message[0] == "reclaim":
                 F.free_inference_scratch()
                 continue
             count = message[1]
+            chaos_point("serve.replica.step", rank=rank, count=count)
             p, s = infer_fn(inputs[:count])
             probs[:count] = p
             scores[:count] = s
@@ -116,6 +130,14 @@ class ReplicaPoolBackend:
     its own pipe, so all lanes can be in flight simultaneously.  The
     parent copies a batch into the lane's slab, sends a two-int message,
     and copies the results out when the worker acks.
+
+    A replica that dies or wedges mid-batch is respawned in place (at
+    most ``restarts`` times per lane, counted in
+    ``serve.replica.restarts``) and the in-flight batch is retried on
+    the fresh process — the input slab still holds it.  Once a lane's
+    restart budget is spent, its :meth:`infer` raises
+    :class:`~repro.parallel.WorkerCrashed` and the serving engine's
+    circuit breaker routes around it.
     """
 
     def __init__(
@@ -126,11 +148,15 @@ class ReplicaPoolBackend:
         input_hw: Tuple[int, int],
         num_classes: int,
         timeout: float = 120.0,
+        restarts: int = 2,
+        registry=None,
     ) -> None:
         if num_replicas < 2:
             raise ValueError("ReplicaPoolBackend needs >= 2 replicas")
         if not parallel_supported(num_replicas):
             raise RuntimeError("multi-process replicas unsupported on this platform")
+        if restarts < 0:
+            raise ValueError("restarts must be non-negative")
         self.num_lanes = int(num_replicas)
         h, w = input_hw
         specs = []
@@ -140,6 +166,14 @@ class ReplicaPoolBackend:
             specs.append(ArraySpec(f"scores{rank}", (max_batch,), "<f4"))
         self._arena = ShmArena.create(specs)
         self._max_batch = int(max_batch)
+        self._timeout = float(timeout)
+        self._restart_budget = int(restarts)
+        self._restarts_used: Dict[int, int] = {}
+        if registry is None:
+            from ..obs.metrics import default_registry
+
+            registry = default_registry()
+        self._m_restarts = registry.counter("serve.replica.restarts")
         try:
             self._pool = WorkerPool(
                 num_replicas,
@@ -156,11 +190,48 @@ class ReplicaPoolBackend:
         if count > self._max_batch:
             raise ValueError(f"batch of {count} exceeds max_batch {self._max_batch}")
         self._arena.view(f"in{lane}")[:count] = inputs
-        self._pool.send(lane, ("infer", count))
+        try:
+            return self._infer_once(lane, count)
+        except WorkerCrashed:
+            # The slab still holds the batch: revive the replica and
+            # retry once.  A second crash (or a spent restart budget)
+            # propagates for the engine's breaker to handle.
+            self._revive(lane)
+            return self._infer_once(lane, count)
+
+    def _infer_once(self, lane: int, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        self._send(lane, ("infer", count))
         self._pool.recv(lane)
         probabilities = self._arena.view(f"probs{lane}")[:count].copy()
         scores = self._arena.view(f"scores{lane}")[:count].copy()
         return probabilities, scores
+
+    def _send(self, lane: int, message) -> None:
+        try:
+            self._pool.send(lane, message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(f"replica {lane} pipe broke: {exc}", lane)
+
+    def _revive(self, lane: int) -> None:
+        """Respawn one dead/wedged replica within its restart budget."""
+        used = self._restarts_used.get(lane, 0)
+        if used >= self._restart_budget:
+            raise WorkerCrashed(
+                f"replica {lane} lost and its restart budget "
+                f"({self._restart_budget}) is spent",
+                lane,
+            )
+        self._restarts_used[lane] = used + 1
+        logger.warning(
+            "replica %d lost (exit code %s); respawning",
+            lane, self._pool.exitcode(lane),
+        )
+        try:
+            self._pool.respawn(lane)
+            self._pool.ping(lane, timeout=min(self._timeout, 30.0))
+        except (RuntimeError, OSError) as exc:
+            raise WorkerCrashed(f"replica {lane} respawn failed: {exc}", lane)
+        self._m_restarts.inc()
 
     def reclaim(self) -> None:
         """Free inference scratch in the parent and every replica."""
@@ -188,10 +259,13 @@ def make_backend(
     input_hw: Tuple[int, int],
     num_classes: int,
     timeout: float = 120.0,
+    restarts: int = 2,
+    registry=None,
 ):
     """Replica pool when possible, in-process fallback otherwise."""
     if num_replicas > 1 and parallel_supported(num_replicas):
         return ReplicaPoolBackend(
-            model, num_replicas, max_batch, input_hw, num_classes, timeout=timeout
+            model, num_replicas, max_batch, input_hw, num_classes,
+            timeout=timeout, restarts=restarts, registry=registry,
         )
     return InProcessBackend(model_infer_fn(model))

@@ -25,6 +25,7 @@ silence so memory is reclaimed between traffic bursts.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -37,11 +38,30 @@ from ..data.wafer import grid_to_tensor
 from ..nn import functional as F
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.timing import TimerTree
-from .backend import make_backend
+from ..resilience.breaker import CircuitBreaker
+from .backend import make_backend, model_infer_fn
 from .batcher import MicroBatcher, Overloaded
 from .cache import ResultCache
 
-__all__ = ["ServeConfig", "ServeResult", "PendingResult", "ServeEngine", "Overloaded"]
+__all__ = [
+    "ServeConfig",
+    "ServeResult",
+    "PendingResult",
+    "ServeEngine",
+    "Overloaded",
+    "InvalidInput",
+]
+
+logger = logging.getLogger("repro.serve")
+
+
+class InvalidInput(ValueError):
+    """The submitted wafer grid is unservable (e.g. NaN/Inf cells).
+
+    Rejected at the front door, before cache-key hashing: a poisoned
+    grid must never produce a cached (or any) prediction.  Counted in
+    ``serve.rejected_total``.
+    """
 
 
 @dataclass
@@ -76,6 +96,14 @@ class ServeConfig:
     idle_reclaim_s:
         Idle seconds after which inference scratch is freed and memory
         gauges refreshed.
+    breaker_failures:
+        Consecutive backend failures on one lane that open its circuit
+        breaker (subsequent batches skip the backend until a half-open
+        probe succeeds).
+    breaker_reset_s:
+        Seconds an open breaker waits before allowing the probe.
+    replica_restarts:
+        Per-lane respawn budget of the replica pool backend.
     """
 
     max_batch_size: int = 64
@@ -87,12 +115,21 @@ class ServeConfig:
     threshold: Optional[float] = None
     idle_reclaim_s: float = 1.0
     worker_timeout_s: float = 120.0
+    breaker_failures: int = 3
+    breaker_reset_s: float = 5.0
+    replica_restarts: int = 2
 
     def __post_init__(self) -> None:
         if self.max_latency_ms < 0:
             raise ValueError("max_latency_ms must be non-negative")
         if self.num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_reset_s <= 0:
+            raise ValueError("breaker_reset_s must be positive")
+        if self.replica_restarts < 0:
+            raise ValueError("replica_restarts must be non-negative")
 
 
 @dataclass
@@ -206,7 +243,16 @@ class ServeEngine:
             input_hw,
             num_classes,
             timeout=self.config.worker_timeout_s,
+            restarts=self.config.replica_restarts,
+            registry=self._registry,
         )
+        # Degradation ladder: replica lane → (breaker opens) →
+        # in-process fallback on the parent's copy of the model.  With
+        # an injected backend and no model there is no fallback — lane
+        # errors then fail their batches, matching the lane-survival
+        # contract.
+        self._fallback_infer = None if model is None else model_infer_fn(model)
+        self._fallback_lock = threading.Lock()
         self.cache: Optional[ResultCache] = None
         if self.config.cache_bytes > 0:
             self.cache = ResultCache(
@@ -233,6 +279,19 @@ class ServeEngine:
         self._batch_size_hist = reg.histogram("serve.batch.size")
         self._batch_compute = reg.histogram("serve.batch.compute_s")
         self._batch_total = reg.histogram("serve.batch.total_s")
+        self._rejected = reg.counter("serve.rejected_total")
+        self._fallback_total = reg.counter("serve.fallback_total")
+        self._breaker_opened = reg.counter("serve.breaker.open")
+
+        #: One breaker per lane, gating its backend calls.
+        self.breakers: Tuple[CircuitBreaker, ...] = tuple(
+            CircuitBreaker(
+                failure_threshold=self.config.breaker_failures,
+                reset_timeout_s=self.config.breaker_reset_s,
+                on_open=self._breaker_opened.inc,
+            )
+            for _ in range(self._backend.num_lanes)
+        )
 
         #: One span tree per lane; TimerTree is single-threaded.
         self.timers: Tuple[TimerTree, ...] = tuple(
@@ -257,7 +316,10 @@ class ServeEngine:
         """Enqueue one die grid; returns a :class:`PendingResult`.
 
         Cache hits complete immediately.  Raises :class:`Overloaded`
-        (after counting the shed) when the pending queue is full.
+        (after counting the shed) when the pending queue is full, and
+        :class:`InvalidInput` for grids carrying NaN/Inf cells —
+        rejected before hashing, so a poisoned wafer never reaches the
+        cache or the model.
         """
         if self._closed:
             raise RuntimeError("engine is closed")
@@ -354,6 +416,9 @@ class ServeEngine:
                 f"grid shape {grid.shape} does not match the model's "
                 f"{self._input_hw}"
             )
+        if np.issubdtype(grid.dtype, np.inexact) and not np.all(np.isfinite(grid)):
+            self._rejected.inc()
+            raise InvalidInput("wafer grid contains non-finite (NaN/Inf) cells")
 
     def _finish(
         self, probabilities: np.ndarray, score: float, cached: bool, latency_s: float
@@ -405,7 +470,7 @@ class ServeEngine:
                     inputs[i] = request.tensor
             with tree.span("infer"):
                 compute_started = time.monotonic()
-                probabilities, scores = self._backend.infer(lane, inputs)
+                probabilities, scores = self._infer(lane, inputs)
                 compute_s = time.monotonic() - compute_started
             with tree.span("complete"):
                 completed = time.monotonic()
@@ -430,6 +495,44 @@ class ServeEngine:
         self._publish_memory_gauges()
         with self._idle_lock:
             self._reclaimed = False
+
+    def _infer(self, lane: int, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Breaker-gated backend call with in-process degradation.
+
+        A closed (or half-open) breaker routes through the backend and
+        records the outcome; an open breaker — or a backend failure
+        when a fallback exists — serves the batch on the parent's copy
+        of the model instead, so total replica loss degrades throughput
+        but never availability.  Decisions are identical either way:
+        the fallback runs the same weights through the same
+        ``predict_batched`` path.  Without a model (injected-backend
+        setups) there is nothing to degrade to and the error
+        propagates, failing only this batch.
+        """
+        breaker = self.breakers[lane]
+        if breaker.allow():
+            try:
+                result = self._backend.infer(lane, inputs)
+            except Exception as error:
+                breaker.record_failure()
+                if self._fallback_infer is None:
+                    raise
+                logger.warning(
+                    "lane %d backend failed (%s); serving in-process",
+                    lane, error,
+                )
+            else:
+                breaker.record_success()
+                return result
+        elif self._fallback_infer is None:
+            raise RuntimeError(
+                f"lane {lane} circuit is open and no in-process fallback "
+                "model is available"
+            )
+        self._fallback_total.inc()
+        # predict_batched shares inference scratch; one lane at a time.
+        with self._fallback_lock:
+            return self._fallback_infer(inputs)
 
     def _idle_reclaim(self) -> None:
         """Free inference scratch once per idle period (all lanes race)."""

@@ -86,3 +86,35 @@ class TestErrors:
     def test_unfitted_classifier_raises(self, tmp_path):
         with pytest.raises(ValueError):
             save_classifier(SelectiveWaferClassifier(), tmp_path / "x.npz")
+
+    def test_truncated_archive_raises_integrity_error(self, tiny_splits, tmp_path):
+        from repro.resilience import IntegrityError
+
+        train, __, __ = tiny_splits
+        classifier = FullCoverageWaferClassifier(
+            backbone=fast_backbone(train.map_size), train=fast_train()
+        )
+        classifier.fit(train)
+        path = tmp_path / "cnn.npz"
+        save_classifier(classifier, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(IntegrityError):
+            load_classifier(path)
+
+    def test_garbage_file_raises_integrity_error(self, tmp_path):
+        from repro.resilience import IntegrityError
+
+        path = tmp_path / "clf.npz"
+        path.write_bytes(b"never a valid archive")
+        with pytest.raises(IntegrityError):
+            load_classifier(path)
+
+    def test_no_tmp_orphan_after_save(self, tiny_splits, tmp_path):
+        train, __, __ = tiny_splits
+        classifier = FullCoverageWaferClassifier(
+            backbone=fast_backbone(train.map_size), train=fast_train()
+        )
+        classifier.fit(train)
+        save_classifier(classifier, tmp_path / "cnn.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cnn.npz"]

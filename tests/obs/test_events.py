@@ -104,6 +104,30 @@ class TestSchema:
         with pytest.raises(ValueError, match="malformed"):
             load_run(str(path))
 
+    def test_torn_final_record_is_dropped(self, tmp_path):
+        """A crash mid-append leaves a half-written last line with no
+        trailing newline; every complete record before it still loads."""
+        run_dir = tmp_path / "r"
+        with RunLogger(str(run_dir), run_id="torn") as logger:
+            logger.log("tick", i=0)
+            logger.log("tick", i=1)
+        path = os.path.join(str(run_dir), "events.jsonl")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "run_id": "torn", "se')  # cut mid-key
+        records = load_run(str(run_dir))
+        assert [r["type"] for r in records] == [
+            "run_start", "tick", "tick", "run_end",
+        ]
+
+    def test_complete_malformed_line_still_raises(self, tmp_path):
+        """Only a *torn tail* is forgiven: a malformed line that was
+        fully written (newline included) is corruption."""
+        path = tmp_path / "events.jsonl"
+        record = {"schema": 1, "run_id": "a", "seq": 0, "ts": 0.0, "type": "x", "data": {}}
+        path.write_text(json.dumps(record) + "\n" + "garbage\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_run(str(path))
+
     def test_closed_logger_refuses_writes(self, tmp_path):
         logger = RunLogger(str(tmp_path / "r"))
         logger.log("tick")

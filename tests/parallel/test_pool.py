@@ -1,12 +1,15 @@
-"""Worker pool: parallel_map semantics, fallback, and BLAS pinning."""
+"""Worker pool: parallel_map semantics, supervision, BLAS pinning."""
 
 import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.parallel.pool import (
     BLAS_ENV_VARS,
+    WorkerCrashed,
+    WorkerPool,
     blas_single_thread,
     parallel_map,
     parallel_supported,
@@ -81,3 +84,89 @@ class TestSupported:
     def test_single_worker_is_not_parallel(self):
         assert parallel_supported(1) is False
         assert parallel_supported(0) is False
+
+
+def _echo_worker(rank, num_workers, pipe, payload):
+    """Control worker for supervision tests: echo, ping, sleep, die."""
+    while True:
+        message = pipe.recv()
+        tag = message[0]
+        if tag == "stop":
+            return
+        if tag == "ping":
+            pipe.send(("pong", rank))
+        elif tag == "echo":
+            pipe.send(("echoed", rank, message[1]))
+        elif tag == "sleep":
+            time.sleep(message[1])
+        elif tag == "die":
+            os._exit(7)
+
+
+needs_parallel = pytest.mark.skipif(
+    not parallel_supported(2), reason="parallel execution unavailable"
+)
+
+
+@needs_parallel
+class TestSupervision:
+    def test_ping_round_trip(self):
+        with WorkerPool(2, _echo_worker, timeout=30.0) as pool:
+            pool.ping(0, timeout=10.0)
+            pool.ping(1, timeout=10.0)
+
+    def test_ping_discards_stale_messages(self):
+        """A heartbeat after an abandoned exchange still finds its pong."""
+        with WorkerPool(2, _echo_worker, timeout=30.0) as pool:
+            pool.send(0, ("echo", "stale"))  # never recv'd
+            pool.ping(0, timeout=10.0)
+            # The stale reply was drained, not left to corrupt later recvs.
+            pool.send(0, ("echo", "fresh"))
+            assert pool.recv(0, timeout=10.0) == ("echoed", 0, "fresh")
+
+    def test_recv_from_dead_worker_raises_typed(self):
+        with WorkerPool(2, _echo_worker, timeout=30.0) as pool:
+            pool.send(0, ("die",))
+            with pytest.raises(WorkerCrashed) as info:
+                pool.recv(0, timeout=10.0)
+            assert info.value.rank == 0
+            deadline = time.monotonic() + 10.0
+            while pool.exitcode(0) is None and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.exitcode(0) == 7
+            # The other worker is unaffected.
+            pool.ping(1, timeout=10.0)
+
+    def test_recv_deadline_raises_typed(self):
+        with WorkerPool(1, _echo_worker, timeout=30.0) as pool:
+            pool.send(0, ("sleep", 5.0))
+            started = time.monotonic()
+            with pytest.raises(WorkerCrashed, match="timed out"):
+                pool.recv(0, timeout=0.3)
+            assert time.monotonic() - started < 3.0
+
+    def test_respawn_replaces_dead_worker(self):
+        with WorkerPool(2, _echo_worker, timeout=30.0) as pool:
+            pool.send(1, ("die",))
+            time.sleep(0.2)
+            assert not pool.alive(1)
+            pool.respawn(1)
+            pool.ping(1, timeout=10.0)
+            pool.send(1, ("echo", "back"))
+            assert pool.recv(1, timeout=10.0) == ("echoed", 1, "back")
+
+    def test_shutdown_bounded_with_sleeping_worker(self):
+        """A worker wedged in computation never reads the stop message;
+        shutdown must escalate to terminate instead of hanging."""
+        pool = WorkerPool(2, _echo_worker, timeout=30.0, shutdown_grace=0.5)
+        pool.send(0, ("sleep", 60.0))
+        time.sleep(0.2)  # let the worker enter the sleep
+        started = time.monotonic()
+        pool.shutdown()
+        assert time.monotonic() - started < 10.0
+
+    def test_kill_is_idempotent(self):
+        with WorkerPool(1, _echo_worker, timeout=30.0) as pool:
+            pool.kill(0)
+            pool.kill(0)
+            assert not pool.alive(0)

@@ -1,14 +1,19 @@
-"""Shared-memory arena: layout, round-trips, and lifecycle."""
+"""Shared-memory arena: layout, round-trips, lifecycle, leak guard."""
+
+import gc
+import multiprocessing as mp
 
 import numpy as np
 import pytest
 
 from repro.parallel.shm import (
     HAVE_SHARED_MEMORY,
+    _OWNED_SEGMENTS,
     ArraySpec,
     ShmArena,
     _offsets,
     _total_size,
+    reclaim_segment,
 )
 
 pytestmark = pytest.mark.skipif(
@@ -64,3 +69,86 @@ class TestShmArena:
         arena = ShmArena.create(SPECS)
         arena.close()
         arena.close()
+
+
+def _hold_arena_forever(conn):
+    """Child: create an arena, report its name, then wait to be killed."""
+    arena = ShmArena.create(SPECS)
+    conn.send(arena.handle()[0])
+    import time
+
+    time.sleep(300)
+
+
+class TestLeakGuard:
+    def test_close_unlinks_segment(self):
+        arena = ShmArena.create(SPECS)
+        name = arena.handle()[0]
+        assert name in _OWNED_SEGMENTS
+        arena.close()
+        assert name not in _OWNED_SEGMENTS
+        # Gone from the system too: nothing left to reclaim.
+        assert reclaim_segment(name) is False
+
+    def test_dropped_owner_reference_unlinks_via_finalizer(self):
+        arena = ShmArena.create(SPECS)
+        name = arena.handle()[0]
+        del arena
+        gc.collect()
+        assert name not in _OWNED_SEGMENTS
+        assert reclaim_segment(name) is False
+
+    def test_attachment_never_unlinks(self):
+        with ShmArena.create(SPECS) as arena:
+            name = arena.handle()[0]
+            attached = ShmArena.attach(arena.handle())
+            attached.close()
+            # The owner's segment survives the attachment's close.
+            probe = ShmArena.attach(arena.handle())
+            probe.close()
+            assert name in _OWNED_SEGMENTS
+
+    @pytest.mark.skipif(
+        "fork" not in mp.get_all_start_methods(), reason="fork unavailable"
+    )
+    def test_killed_owner_segment_is_reclaimable(self):
+        """SIGKILL skips atexit and finalizers; a supervisor reclaims
+        the orphaned segment by name instead."""
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        child = ctx.Process(target=_hold_arena_forever, args=(child_conn,))
+        child.start()
+        try:
+            assert parent_conn.poll(30)
+            name = parent_conn.recv()
+        finally:
+            child.kill()
+            child.join(timeout=10)
+        assert reclaim_segment(name) is True
+        assert reclaim_segment(name) is False  # idempotent
+
+    @pytest.mark.skipif(
+        "fork" not in mp.get_all_start_methods(), reason="fork unavailable"
+    )
+    def test_forked_child_exit_never_unlinks_parent_segment(self):
+        """The ownership registry is pid-guarded: a forked child that
+        inherited it and runs its own atexit must not reclaim segments
+        the parent still uses."""
+        with ShmArena.create(SPECS) as arena:
+            arena.view("params")[:] = 1.0
+            ctx = mp.get_context("fork")
+
+            child = ctx.Process(target=_child_atexit_sweep)
+            child.start()
+            child.join(timeout=30)
+            assert child.exitcode == 0
+            # Parent's segment is intact and still readable.
+            assert np.all(arena.view("params") == 1.0)
+            probe = ShmArena.attach(arena.handle())
+            probe.close()
+
+
+def _child_atexit_sweep():
+    from repro.parallel.shm import _cleanup_owned_segments
+
+    _cleanup_owned_segments()

@@ -1,0 +1,104 @@
+"""Atomic writes and CRC32 manifests: crash-safety building blocks."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience.atomic import (
+    IntegrityError,
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    crc32_file,
+    verify_manifest,
+    write_manifest,
+    MANIFEST_NAME,
+)
+
+
+class TestAtomicWriter:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+        atomic_write_text(path, "world")
+        assert path.read_text() == "world"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(path, "deep")
+        assert path.read_text() == "deep"
+
+    def test_failure_leaves_destination_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "original")
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with atomic_writer(path, "w") as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "original"
+        # No temporary orphan either.
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_savez_round_trip(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        want = np.arange(12, dtype=np.float32).reshape(3, 4)
+        atomic_savez(path, weights=want)
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(archive["weights"], want)
+
+
+class TestManifest:
+    def _write_members(self, tmp_path):
+        (tmp_path / "a.bin").write_bytes(b"alpha")
+        (tmp_path / "b.bin").write_bytes(b"beta")
+        return write_manifest(tmp_path, ["a.bin", "b.bin"], extra={"epoch": 3})
+
+    def test_verify_passes_on_intact_directory(self, tmp_path):
+        self._write_members(tmp_path)
+        manifest = verify_manifest(tmp_path)
+        assert manifest["epoch"] == 3
+        assert set(manifest["files"]) == {"a.bin", "b.bin"}
+
+    def test_crc_matches_zlib(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"payload")
+        import zlib
+
+        assert crc32_file(path) == zlib.crc32(b"payload")
+
+    def test_detects_truncated_member(self, tmp_path):
+        self._write_members(tmp_path)
+        with open(tmp_path / "a.bin", "r+b") as handle:
+            handle.truncate(2)
+        with pytest.raises(IntegrityError, match="size"):
+            verify_manifest(tmp_path)
+
+    def test_detects_bit_rot_at_same_size(self, tmp_path):
+        self._write_members(tmp_path)
+        (tmp_path / "b.bin").write_bytes(b"bete")  # same length, new bytes
+        with pytest.raises(IntegrityError, match="CRC32"):
+            verify_manifest(tmp_path)
+
+    def test_detects_missing_member_and_manifest(self, tmp_path):
+        self._write_members(tmp_path)
+        os.unlink(tmp_path / "b.bin")
+        with pytest.raises(IntegrityError, match="missing member"):
+            verify_manifest(tmp_path)
+        os.unlink(tmp_path / MANIFEST_NAME)
+        with pytest.raises(IntegrityError, match=MANIFEST_NAME):
+            verify_manifest(tmp_path)
+
+    def test_rejects_unparsable_manifest(self, tmp_path):
+        self._write_members(tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(IntegrityError, match="unreadable manifest"):
+            verify_manifest(tmp_path)
+
+    def test_rejects_manifest_without_file_table(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"schema": 1}))
+        with pytest.raises(IntegrityError, match="file table"):
+            verify_manifest(tmp_path)

@@ -1,0 +1,111 @@
+"""CircuitBreaker state machine, driven by an injectable clock."""
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make(clock, threshold=3, reset=5.0, on_open=None):
+    return CircuitBreaker(
+        failure_threshold=threshold, reset_timeout_s=reset,
+        clock=clock, on_open=on_open,
+    )
+
+
+class TestTransitions:
+    def test_stays_closed_below_threshold(self, clock):
+        breaker = make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_at_threshold_and_blocks(self, clock):
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self, clock):
+        breaker = make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_single_probe(self, clock):
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # concurrent caller blocked
+
+    def test_probe_success_closes(self, clock):
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_immediately(self, clock):
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # single failure re-trips, no threshold
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.open_count == 2
+
+    def test_open_blocks_until_reset_timeout(self, clock):
+        breaker = make(clock, threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(9.99)
+        assert not breaker.allow()
+        clock.advance(0.01)
+        assert breaker.allow()
+
+
+class TestCallbackAndValidation:
+    def test_on_open_fires_once_per_trip(self, clock):
+        opens = []
+        breaker = make(clock, threshold=2, on_open=lambda: opens.append(1))
+        breaker.record_failure()
+        assert opens == []
+        breaker.record_failure()
+        assert opens == [1]
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert opens == [1, 1]
+
+    def test_rejects_bad_knobs(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1.0)

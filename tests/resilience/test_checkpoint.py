@@ -1,0 +1,130 @@
+"""CheckpointManager: atomic publish, corrupt-skip resume, retention."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cnn import BackboneConfig, WaferCNN
+from repro.nn.optim import Adam
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.atomic import IntegrityError, MANIFEST_NAME
+from repro.resilience.checkpoint import CheckpointManager
+
+SIZE = 16
+
+
+def small_model(seed=0):
+    return WaferCNN(
+        2,
+        BackboneConfig(
+            input_size=SIZE, conv_channels=(4, 4), conv_kernels=(3, 3),
+            fc_units=8, seed=seed,
+        ),
+    )
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return CheckpointManager(str(tmp_path), keep=3, registry=MetricsRegistry())
+
+
+class TestRoundTrip:
+    def test_model_optimizer_rng_and_extra_round_trip(self, manager):
+        model = small_model(seed=1)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        rng = np.random.default_rng(9)
+        rng.random(17)  # advance so the state is non-trivial
+        path = manager.save(
+            3, model=model, optimizer=optimizer, rng=rng,
+            extra={"best_val": 0.25},
+        )
+        assert os.path.basename(path) == "ckpt-00003"
+
+        fresh = small_model(seed=2)  # different init, will be overwritten
+        fresh_opt = Adam(fresh.parameters(), lr=1e-3)
+        state = manager.load(path, model=fresh, optimizer=fresh_opt)
+        assert state["epoch"] == 3
+        assert state["extra"] == {"best_val": 0.25}
+        for key, want in model.state_dict().items():
+            np.testing.assert_array_equal(fresh.state_dict()[key], want)
+
+        fresh_rng = np.random.default_rng(0)
+        CheckpointManager.restore_rng(fresh_rng, state["rng_state"])
+        np.testing.assert_array_equal(fresh_rng.random(5), rng.random(5))
+
+    def test_no_staging_orphans_after_save(self, manager, tmp_path):
+        manager.save(1, model=small_model())
+        assert sorted(os.listdir(tmp_path)) == ["ckpt-00001"]
+
+
+class TestCorruptSkip:
+    def test_latest_valid_skips_corrupt_newest(self, tmp_path):
+        registry = MetricsRegistry()
+        manager = CheckpointManager(str(tmp_path), keep=0, registry=registry)
+        model = small_model()
+        good = manager.save(1, model=model)
+        bad = manager.save(2, model=model)
+        with open(os.path.join(bad, "model.npz"), "r+b") as handle:
+            handle.truncate(16)
+        assert manager.latest_valid() == good
+        assert registry.counter("train.checkpoint.corrupt_skipped").value == 1
+
+    def test_load_corrupt_never_mutates_target(self, manager):
+        model = small_model(seed=1)
+        path = manager.save(1, model=model)
+        with open(os.path.join(path, MANIFEST_NAME), "w") as handle:
+            handle.write("{torn")
+        victim = small_model(seed=2)
+        before = {k: v.copy() for k, v in victim.state_dict().items()}
+        with pytest.raises(IntegrityError):
+            manager.load(path, model=victim)
+        for key, want in before.items():
+            np.testing.assert_array_equal(victim.state_dict()[key], want)
+
+    def test_latest_valid_none_when_all_corrupt(self, manager, tmp_path):
+        path = manager.save(1, model=small_model())
+        os.unlink(os.path.join(path, MANIFEST_NAME))
+        assert manager.latest_valid() is None
+
+    def test_validate_rejects_future_state_schema(self, manager, tmp_path):
+        path = manager.save(1, model=small_model())
+        state_path = os.path.join(path, "state.json")
+        with open(state_path) as handle:
+            state = json.load(handle)
+        state["schema"] = 99
+        with open(state_path, "w") as handle:
+            json.dump(state, handle)
+        # CRC now mismatches too, but rewrite the manifest to isolate
+        # the schema check.
+        from repro.resilience.atomic import write_manifest
+
+        write_manifest(path, ["model.npz", "state.json"])
+        with pytest.raises(IntegrityError, match="schema"):
+            manager.validate(path)
+
+
+class TestRetention:
+    def test_prunes_to_keep(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), keep=2, registry=MetricsRegistry())
+        model = small_model()
+        for epoch in range(1, 5):
+            manager.save(epoch, model=model)
+        names = sorted(os.path.basename(p) for p in manager.checkpoints())
+        assert names == ["ckpt-00003", "ckpt-00004"]
+
+    def test_keep_zero_retains_everything(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), keep=0, registry=MetricsRegistry())
+        model = small_model()
+        for epoch in range(1, 4):
+            manager.save(epoch, model=model)
+        assert len(manager.checkpoints()) == 3
+
+    def test_same_epoch_resave_replaces(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), keep=0, registry=MetricsRegistry())
+        model = small_model()
+        manager.save(1, model=model)
+        manager.save(1, model=model)  # rollback re-runs the epoch
+        assert len(manager.checkpoints()) == 1
+        assert manager.latest_valid() is not None

@@ -1,0 +1,48 @@
+"""RetryPolicy: bounded exponential backoff with deterministic jitter."""
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy
+
+
+class TestSchedule:
+    def test_exponential_growth_capped_at_max(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay_s=0.1, max_delay_s=0.5, jitter=0.0
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5, 0.5, 0.5]
+
+    def test_jitter_scales_within_bounds(self):
+        policy = RetryPolicy(max_retries=4, base_delay_s=0.1, jitter=0.5, seed=7)
+        for attempt, delay in enumerate(policy.delays()):
+            base = min(policy.max_delay_s, 0.1 * 2.0 ** attempt)
+            assert base <= delay <= base * 1.5
+
+    def test_same_seed_same_timeline(self):
+        a = RetryPolicy(max_retries=5, seed=42)
+        b = RetryPolicy(max_retries=5, seed=42)
+        assert list(a.delays()) == list(b.delays())
+
+    def test_different_seeds_differ(self):
+        a = list(RetryPolicy(max_retries=5, seed=1).delays())
+        b = list(RetryPolicy(max_retries=5, seed=2).delays())
+        assert a != b
+
+    def test_zero_retries_means_empty_schedule(self):
+        assert list(RetryPolicy(max_retries=0).delays()) == []
+
+    def test_sleep_returns_slept_duration(self):
+        policy = RetryPolicy(base_delay_s=0.0, jitter=0.0)
+        assert policy.sleep(0) == 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(-1)

@@ -1,0 +1,151 @@
+"""Degrading serve: input rejection, breakers, and replica recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.cnn import BackboneConfig
+from repro.core.selective import SelectiveNet
+from repro.data.wafer import grid_to_tensor
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import parallel_supported
+from repro.serve import InvalidInput, ServeConfig, ServeEngine
+
+SIZE = 16
+NUM_CLASSES = 4
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SelectiveNet(
+        NUM_CLASSES,
+        BackboneConfig(
+            input_size=SIZE, conv_channels=(4, 4), conv_kernels=(3, 3),
+            fc_units=16, seed=11,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def grids():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 3, size=(16, SIZE, SIZE)).astype(np.uint8)
+
+
+def assert_matches_model(results, model, grids):
+    expected = model.predict_selective(
+        np.stack([grid_to_tensor(g) for g in grids])
+    )
+    labels = np.array([r.label for r in results])
+    np.testing.assert_array_equal(labels, expected.labels)
+
+
+needs_parallel = pytest.mark.skipif(
+    not parallel_supported(2), reason="multiprocessing unavailable"
+)
+
+
+class TestInputRejection:
+    def test_nan_and_inf_grids_rejected_and_never_cached(self, model):
+        registry = MetricsRegistry()
+        config = ServeConfig(max_batch_size=4, max_latency_ms=1.0)
+        with ServeEngine(model, config, registry=registry) as engine:
+            poisoned = np.zeros((SIZE, SIZE), dtype=np.float32)
+            poisoned[3, 4] = np.nan
+            with pytest.raises(InvalidInput, match="non-finite"):
+                engine.submit(poisoned)
+            poisoned[3, 4] = np.inf
+            with pytest.raises(InvalidInput, match="non-finite"):
+                engine.submit(poisoned)
+            # Nothing reached the cache: resubmitting still rejects
+            # (a cached entry would short-circuit before validation
+            # only if the poisoned grid had been stored).
+            assert len(engine.cache) == 0
+            with pytest.raises(InvalidInput):
+                engine.submit(poisoned)
+            # The engine still serves clean grids afterwards.
+            clean = np.zeros((SIZE, SIZE), dtype=np.uint8)
+            result = engine.classify(clean, timeout=60.0)
+            assert result.label is not None
+        assert registry.counter("serve.rejected_total").value == 3
+        assert registry.counter("serve.requests_total").value == 1
+
+    def test_finite_integer_grids_unaffected(self, model, grids):
+        registry = MetricsRegistry()
+        config = ServeConfig(max_batch_size=8, max_latency_ms=1.0, cache_bytes=0)
+        with ServeEngine(model, config, registry=registry) as engine:
+            results = engine.classify_many(list(grids), timeout=60.0)
+        assert_matches_model(results, model, grids)
+        assert registry.counter("serve.rejected_total").value == 0
+
+
+class TestReplicaRecovery:
+    @needs_parallel
+    def test_dead_replica_respawns_within_budget(self, model, grids):
+        registry = MetricsRegistry()
+        config = ServeConfig(
+            max_batch_size=4, max_latency_ms=1.0, cache_bytes=0,
+            num_replicas=2, replica_restarts=1, worker_timeout_s=30.0,
+        )
+        with ServeEngine(model, config, registry=registry) as engine:
+            engine.classify_many(list(grids[:4]), timeout=60.0)
+            engine._backend._pool.kill(0)
+            results = engine.classify_many(list(grids), timeout=120.0)
+        assert_matches_model(results, model, grids)
+        assert registry.counter("serve.replica.restarts").value >= 1
+        # Recovery happened inside the lane: no fallback, no open breaker.
+        assert registry.counter("serve.fallback_total").value == 0
+
+    @needs_parallel
+    def test_total_replica_loss_degrades_to_in_process(self, model, grids):
+        registry = MetricsRegistry()
+        config = ServeConfig(
+            max_batch_size=4, max_latency_ms=1.0, cache_bytes=0,
+            num_replicas=2, replica_restarts=0, breaker_failures=1,
+            worker_timeout_s=30.0,
+        )
+        with ServeEngine(model, config, registry=registry) as engine:
+            engine.classify_many(list(grids[:4]), timeout=60.0)
+            for lane in range(engine._backend.num_lanes):
+                engine._backend._pool.kill(lane)
+            results = engine.classify_many(list(grids), timeout=120.0)
+        assert_matches_model(results, model, grids)
+        assert registry.counter("serve.fallback_total").value >= 1
+        assert registry.counter("serve.breaker.open").value >= 1
+
+    def test_open_breaker_without_fallback_fails_fast(self):
+        """Injected backend, no model: the breaker opens after repeated
+        failures and subsequent batches fail immediately."""
+
+        class DoomedBackend:
+            num_lanes = 1
+            num_classes = NUM_CLASSES
+
+            def infer(self, lane, inputs):
+                raise RuntimeError("replica gone")
+
+            def reclaim(self):
+                pass
+
+            def close(self):
+                pass
+
+        registry = MetricsRegistry()
+        config = ServeConfig(
+            max_batch_size=1, max_latency_ms=0.0, cache_bytes=0,
+            breaker_failures=2,
+        )
+        engine = ServeEngine(
+            config=config, registry=registry, backend=DoomedBackend(),
+            input_hw=(SIZE, SIZE), num_classes=NUM_CLASSES,
+        )
+        try:
+            grid = np.zeros((SIZE, SIZE), dtype=np.uint8)
+            for _ in range(2):
+                with pytest.raises(RuntimeError, match="replica gone"):
+                    engine.classify(grid, timeout=30.0)
+            assert engine.breakers[0].state == "open"
+            with pytest.raises(RuntimeError, match="circuit is open"):
+                engine.classify(grid, timeout=30.0)
+            assert registry.counter("serve.breaker.open").value == 1
+        finally:
+            engine.close()

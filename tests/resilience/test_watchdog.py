@@ -1,0 +1,49 @@
+"""TrainingWatchdog: NaN/Inf and blow-up detection."""
+
+import math
+
+import pytest
+
+from repro.resilience.watchdog import TrainingWatchdog
+
+
+class TestChecks:
+    def test_healthy_step_passes(self):
+        dog = TrainingWatchdog(grad_norm_limit=10.0, loss_limit=100.0)
+        assert dog.check(1.25, grad_norm=3.0) is None
+        assert dog.trips == 0
+
+    def test_nan_loss_trips(self):
+        dog = TrainingWatchdog()
+        reason = dog.check(float("nan"))
+        assert reason is not None and "loss" in reason
+        assert dog.trips == 1
+
+    def test_inf_loss_trips(self):
+        assert TrainingWatchdog().check(math.inf) is not None
+
+    def test_non_finite_grad_norm_trips(self):
+        reason = TrainingWatchdog().check(0.5, grad_norm=float("inf"))
+        assert reason is not None and "gradient" in reason
+
+    def test_loss_limit(self):
+        dog = TrainingWatchdog(loss_limit=5.0)
+        assert dog.check(4.9) is None
+        assert dog.check(5.1) is not None
+
+    def test_grad_norm_limit(self):
+        dog = TrainingWatchdog(grad_norm_limit=2.0)
+        assert dog.check(0.1, grad_norm=1.9) is None
+        assert dog.check(0.1, grad_norm=2.5) is not None
+
+    def test_limits_disabled_by_default(self):
+        dog = TrainingWatchdog()
+        assert dog.check(1e12, grad_norm=1e12) is None
+
+
+class TestValidation:
+    def test_rejects_non_positive_limits(self):
+        with pytest.raises(ValueError):
+            TrainingWatchdog(grad_norm_limit=0.0)
+        with pytest.raises(ValueError):
+            TrainingWatchdog(loss_limit=-1.0)
