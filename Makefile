@@ -5,7 +5,7 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test chaos bench bench-perf bench-parallel bench-serve bench-resilience profile clean
+.PHONY: check test chaos bench bench-perf bench-parallel bench-serve bench-resilience bench-obs profile clean
 
 check:
 	sh scripts/check.sh
@@ -30,6 +30,9 @@ bench-serve:
 
 bench-resilience:
 	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite resilience --out-dir benchmarks/perf
+
+bench-obs:
+	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite obs --out-dir benchmarks/perf
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q -s --profile

@@ -1,9 +1,11 @@
 """CLI entry point: ``python -m benchmarks.perf [--smoke] [--out-dir D]``.
 
-Runs the inference, training, parallel, and serving suites and writes
-``BENCH_infer.json``, ``BENCH_train.json``, ``BENCH_parallel.json``,
-and ``BENCH_serve.json`` into ``--out-dir`` (default: this package's
-directory, where the committed baselines live).
+Runs the inference, training, parallel, serving, resilience, and
+observability suites and writes ``BENCH_infer.json``,
+``BENCH_train.json``, ``BENCH_parallel.json``, ``BENCH_serve.json``,
+``BENCH_resilience.json``, and ``BENCH_obs.json`` into ``--out-dir``
+(default: this package's directory, where the committed baselines
+live).
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import os
 import sys
 
 from .bench_infer import run_infer_suite
+from .bench_obs import run_obs_suite
 from .bench_parallel import run_parallel_suite
 from .bench_resilience import run_resilience_suite
 from .bench_serve import run_serve_suite
@@ -39,7 +42,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["infer", "train", "parallel", "serve", "resilience", "all"],
+        choices=["infer", "train", "parallel", "serve", "resilience", "obs", "all"],
         default="all",
         help="which suite(s) to run",
     )
@@ -74,6 +77,12 @@ def main(argv=None) -> int:
         path = write_suite(
             os.path.join(args.out_dir, "BENCH_resilience.json"),
             "resilience", cases, smoke=args.smoke,
+        )
+        _report(path, cases)
+    if args.suite in ("obs", "all"):
+        cases = run_obs_suite(smoke=args.smoke, repeats=min(args.repeats, 3))
+        path = write_suite(
+            os.path.join(args.out_dir, "BENCH_obs.json"), "obs", cases, smoke=args.smoke
         )
         _report(path, cases)
     return 0

@@ -7,6 +7,8 @@ Schema (version 1) — each suite file is one JSON object:
 * ``created_unix``: unix timestamp (float seconds) of the write;
 * ``smoke``: whether the run used the shrunken smoke workloads;
 * ``machine``: platform / python / numpy / cpu description;
+* ``provenance``: shared :func:`repro.obs.export.provenance` block
+  (git sha, machine, obs schema versions);
 * ``cases``: list of case objects, each with
 
   - ``name``: unique case identifier within the suite;
@@ -23,8 +25,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
-import subprocess
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro.obs.events import _json_safe
+from repro.obs.export import machine_info, provenance
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -101,71 +102,21 @@ def run_case(
     )
 
 
-def _git_sha() -> Optional[str]:
-    """Commit SHA of the working tree (``+dirty`` suffix), or None.
-
-    Committed ``BENCH_*.json`` files need to be attributable to a
-    commit to compare runs; swallow every failure mode (no git binary,
-    not a repository, timeout) — benchmarks must run anywhere.
-    """
-    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    try:
-        sha = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=root, capture_output=True, text=True, timeout=10,
-        )
-        if sha.returncode != 0:
-            return None
-        status = subprocess.run(
-            ["git", "status", "--porcelain"],
-            cwd=root, capture_output=True, text=True, timeout=10,
-        )
-        dirty = "+dirty" if status.returncode == 0 and status.stdout.strip() else ""
-        return sha.stdout.strip() + dirty
-    except (OSError, subprocess.SubprocessError):
-        return None
-
-
-def machine_info() -> Dict[str, Any]:
-    """Where the numbers came from — needed to compare across runs.
-
-    The ``env`` block records the BLAS threadpool knobs: worker-scaling
-    numbers are meaningless without knowing whether the serial baseline
-    was itself multi-threaded.  ``git_sha`` ties a committed
-    ``BENCH_*.json`` to the commit that produced it, and ``warnings``
-    makes the single-core caveat machine-readable instead of prose-only
-    (parallel/serving scaling curves measure protocol overhead, not
-    speedup, on one CPU).
-    """
-    from repro.parallel import BLAS_ENV_VARS
-
-    cpu_count = os.cpu_count()
-    warnings = []
-    if cpu_count == 1:
-        warnings.append(
-            "single-CPU machine: worker/replica scaling cases measure "
-            "protocol overhead, not parallel speedup"
-        )
-    return {
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpu_count": cpu_count,
-        "git_sha": _git_sha(),
-        "warnings": warnings,
-        "env": {var: os.environ.get(var) for var in BLAS_ENV_VARS},
-    }
-
-
 def write_suite(out_path: str, suite: str, cases: List[CaseResult], smoke: bool = False) -> str:
-    """Write one ``BENCH_<suite>.json`` file; returns the path written."""
+    """Write one ``BENCH_<suite>.json`` file; returns the path written.
+
+    ``machine`` (kept for schema-v1 readers) and ``provenance`` both
+    come from :mod:`repro.obs.export` — the one provenance helper every
+    emitted artifact shares, so suites, flight dumps, and metric
+    snapshots are attributable the same way.
+    """
     payload = {
         "schema": BENCH_SCHEMA_VERSION,
         "suite": suite,
         "created_unix": time.time(),
         "smoke": smoke,
         "machine": machine_info(),
+        "provenance": provenance(),
         "cases": [case.as_record() for case in cases],
     }
     directory = os.path.dirname(out_path)

@@ -24,6 +24,12 @@ timeout 240 python -m repro.serve.smoke
 echo "== chaos smoke (worker loss, checkpoint resume, replica loss) =="
 timeout 300 python -m repro.resilience.smoke
 
+echo "== obs smoke (trace, fleet merge, exporters, flight recorder) =="
+timeout 240 python -m repro.obs.smoke
+
+echo "== prometheus exposition lint =="
+python -m repro.obs.export --format prometheus --demo --lint > /dev/null
+
 echo "== parallel equivalence tests =="
 timeout 300 python -m pytest tests/parallel -q
 
@@ -39,5 +45,18 @@ test -s "$smoke_dir/BENCH_train.json"
 test -s "$smoke_dir/BENCH_parallel.json"
 test -s "$smoke_dir/BENCH_serve.json"
 test -s "$smoke_dir/BENCH_resilience.json"
+test -s "$smoke_dir/BENCH_obs.json"
+
+echo "== disarmed-tracing overhead gate (< 1%) =="
+python - "$smoke_dir/BENCH_obs.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as handle:
+    suite = json.load(handle)
+cases = {case["name"]: case for case in suite["cases"]}
+pct = cases["serve_qps_disarmed"]["metrics"]["disarmed_overhead_pct"]
+print(f"disarmed tracing overhead: {pct:.4f}% of per-request serve time")
+if pct >= 1.0:
+    sys.exit("FAIL: disarmed tracing overhead exceeds the 1% budget")
+PY
 
 echo "check: OK"

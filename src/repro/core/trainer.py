@@ -34,6 +34,8 @@ import numpy as np
 
 from .. import nn
 from ..data.dataset import BatchIterator, WaferDataset
+from ..obs.flight import dump_flight, record_flight_event
+from ..obs.trace import current_tracer
 from ..resilience.chaos import chaos_point
 from ..resilience.retry import RetryPolicy
 from ..resilience.watchdog import TrainingWatchdog
@@ -413,6 +415,10 @@ class Trainer:
             self.run_logger.log(
                 "watchdog_trip", epoch=trip.epoch, reason=trip.reason
             )
+        record_flight_event(
+            "watchdog_rollback", epoch=trip.epoch, reason=trip.reason
+        )
+        dump_flight("watchdog-rollback")
         if self._checkpoints is None:
             raise RuntimeError(
                 f"training diverged ({trip.reason}) and no checkpoint_dir "
@@ -504,6 +510,12 @@ class Trainer:
 
         self.model.train()
         started = time.perf_counter()
+        tracer = current_tracer()
+        epoch_span = (
+            tracer.start_span("train.epoch", epoch=epoch)
+            if tracer is not None
+            else None
+        )
         total_loss = 0.0
         total_correct = 0
         total_samples = 0
@@ -575,6 +587,9 @@ class Trainer:
                     # Checked before the optimizer step: poisoned
                     # gradients must never touch the weights.
                     self._m_watchdog.inc()
+                    if epoch_span is not None:
+                        epoch_span.event("watchdog_trip", reason=reason)
+                        tracer.end(epoch_span, status="error")
                     raise _WatchdogTrip(reason, epoch)
                 grad_norm_sum += norm
                 if self.config.grad_clip is not None:
@@ -586,7 +601,7 @@ class Trainer:
                 total_samples += len(labels)
                 batch_count += 1
 
-        return EpochStats(
+        stats = EpochStats(
             epoch=epoch,
             loss=total_loss / max(total_samples, 1),
             train_accuracy=total_correct / max(total_samples, 1),
@@ -595,6 +610,11 @@ class Trainer:
             seconds=time.perf_counter() - started,
             grad_norm=grad_norm_sum / max(batch_count, 1),
         )
+        if epoch_span is not None:
+            epoch_span.set("batches", batch_count)
+            epoch_span.set("samples", total_samples)
+            tracer.end(epoch_span, duration_s=stats.seconds)
+        return stats
 
     def _grad_norm(self) -> float:
         """Global L2 norm over all parameter gradients."""

@@ -24,9 +24,15 @@ import numpy as np
 
 from ..core.selective import ABSTAIN, SelectiveNet, SelectivePrediction
 from .events import RunLogger
+from .flight import record_flight_event
 from .metrics import MetricsRegistry, default_registry
 
-__all__ = ["CoverageAlert", "SelectiveMonitor"]
+__all__ = ["DRIFT_ALERT_SCHEMA_VERSION", "CoverageAlert", "SelectiveMonitor"]
+
+#: Schema version of the structured ``drift_alert`` run-log record.
+#: Downstream consumers (the fab-scale streaming loop, ROADMAP item 5)
+#: key on this to parse alerts across repo versions.
+DRIFT_ALERT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -72,8 +78,10 @@ class SelectiveMonitor:
         Metrics registry to publish into (default: the process-global
         one).  Pass a fresh :class:`MetricsRegistry` for isolation.
     run_logger:
-        Optional :class:`RunLogger`; alerts are also appended to it as
-        ``alert`` records.
+        Optional :class:`RunLogger`; alerts are also appended to it,
+        both as human-readable ``alert`` records and as structured,
+        schema-versioned ``drift_alert`` records
+        (:data:`DRIFT_ALERT_SCHEMA_VERSION`).
 
     Alert semantics: hooks fire on the *downward crossing* — once when
     rolling coverage drops below ``min_coverage``, then re-arm only
@@ -203,8 +211,24 @@ class SelectiveMonitor:
                 )
                 self.alerts.append(alert)
                 self.registry.counter("selective.coverage_alerts").inc()
+                record_flight_event("drift_alert", **alert.__dict__)
                 if self.run_logger is not None:
+                    # Human-readable "alert" record (stable since PR 1)
+                    # plus the machine-readable schema-versioned form
+                    # that drift-routed consumers key on.
                     self.run_logger.log_alert(str(alert), **alert.__dict__)
+                    self.run_logger.log(
+                        "drift_alert",
+                        alert_schema=DRIFT_ALERT_SCHEMA_VERSION,
+                        kind="coverage_collapse",
+                        rolling_coverage=alert.rolling_coverage,
+                        min_coverage=alert.min_coverage,
+                        window_samples=alert.window_samples,
+                        total_samples=alert.total_samples,
+                        batch_index=alert.batch_index,
+                        abstention_rate=self.abstention_rate,
+                        threshold=self.threshold,
+                    )
                 for hook in self._alert_hooks:
                     hook(alert)
         else:

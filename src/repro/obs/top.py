@@ -1,0 +1,220 @@
+"""Ops console: a terminal ``top`` for the serving/training fleet.
+
+Reads metric snapshots — straight from a registry, or from the JSON
+file a :class:`~repro.obs.export.SnapshotWriter` keeps fresh — and
+renders the numbers an operator watches during a run of the selective
+classifier: live QPS, p50/p99 latency, shed / cache-hit / abstain
+rates, and per-lane circuit-breaker state.  Rates are computed from
+**deltas between consecutive snapshots**, so the console shows current
+behaviour, not lifetime averages.
+
+Run against a snapshot file refreshed by a serving process::
+
+    python -m repro.obs.top --snapshot run/metrics.json --interval 1
+
+or try it offline with ``--demo``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["BREAKER_STATE_CODES", "compute_rates", "render", "main"]
+
+#: Numeric encoding of breaker states published as gauges
+#: (``serve.lane<i>.breaker_state``): closed is healthy, open is shed.
+BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+_STATE_NAMES = {code: name for name, code in BREAKER_STATE_CODES.items()}
+
+
+def _counters(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    return {k: float(v) for k, v in snapshot.get("counters", {}).items()}
+
+
+def _delta(
+    curr: Dict[str, float], prev: Dict[str, float], name: str
+) -> float:
+    return curr.get(name, 0.0) - prev.get(name, 0.0)
+
+
+def _ratio(numerator: float, denominator: float) -> Optional[float]:
+    return numerator / denominator if denominator > 0 else None
+
+
+def compute_rates(
+    curr: Dict[str, Any], prev: Optional[Dict[str, Any]], dt_s: float
+) -> Dict[str, Optional[float]]:
+    """Interval rates between two snapshots.
+
+    With ``prev`` None (first tick) lifetime totals are used, so the
+    console is informative from the very first frame.
+    """
+    now = _counters(curr)
+    before = _counters(prev) if prev else {}
+    requests = _delta(now, before, "serve.requests_total")
+    shed = _delta(now, before, "serve.shed_total")
+    hits = _delta(now, before, "serve.cache.hits")
+    misses = _delta(now, before, "serve.cache.misses")
+    accepted = _delta(now, before, "serve.accepted_total")
+    abstained = _delta(now, before, "serve.abstained_total")
+    return {
+        "qps": requests / dt_s if dt_s > 0 else None,
+        "shed_rate": _ratio(shed, requests),
+        "hit_rate": _ratio(hits, hits + misses),
+        "abstain_rate": _ratio(abstained, accepted + abstained),
+        "requests": requests,
+    }
+
+
+def _breaker_states(snapshot: Dict[str, Any]) -> List[Tuple[str, str]]:
+    states = []
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        if name.endswith(".breaker_state"):
+            lane = name[: -len(".breaker_state")]
+            states.append((lane, _STATE_NAMES.get(int(value), f"?{value}")))
+    return states
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return f"{100.0 * value:6.2f}%" if value is not None else "     --"
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return f"{1e3 * value:8.3f}" if value is not None else "      --"
+
+
+def render(
+    curr: Dict[str, Any],
+    prev: Optional[Dict[str, Any]] = None,
+    dt_s: float = 1.0,
+) -> str:
+    """One console frame from ``prev``-to-``curr`` deltas."""
+    rates = compute_rates(curr, prev, dt_s)
+    latency = curr.get("histograms", {}).get("serve.latency_s", {})
+    lines = [
+        "repro.obs.top — serving fleet",
+        "-" * 46,
+        f"  qps          {rates['qps']:10.1f}" if rates["qps"] is not None
+        else "  qps                  --",
+        f"  p50 ms       {_fmt_ms(latency.get('p50'))}",
+        f"  p99 ms       {_fmt_ms(latency.get('p99'))}",
+        f"  shed rate    {_fmt_pct(rates['shed_rate'])}",
+        f"  hit rate     {_fmt_pct(rates['hit_rate'])}",
+        f"  abstain rate {_fmt_pct(rates['abstain_rate'])}",
+    ]
+    queue_depth = curr.get("gauges", {}).get("serve.queue_depth")
+    if queue_depth is not None:
+        lines.append(f"  queue depth  {queue_depth:10.0f}")
+    breakers = _breaker_states(curr)
+    if breakers:
+        lines.append("  breakers:")
+        for lane, state in breakers:
+            marker = "" if state == "closed" else "  <-- degraded"
+            lines.append(f"    {lane:<28} {state}{marker}")
+    counters = curr.get("counters", {})
+    respawns = counters.get("parallel.worker.respawns", 0)
+    restarts = counters.get("serve.replica.restarts", 0)
+    if respawns or restarts:
+        lines.append(
+            f"  respawns     {respawns:10.0f}   replica restarts {restarts:.0f}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _load(path: str) -> Dict[str, Any]:
+    from .aggregate import summarize_snapshot
+
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    histograms = data.get("histograms", {})
+    if histograms and any("buckets" in h for h in histograms.values()):
+        return summarize_snapshot(data)
+    return data
+
+
+def _demo_frames() -> List[Dict[str, Any]]:
+    from .metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    requests = registry.counter("serve.requests_total")
+    hits = registry.counter("serve.cache.hits")
+    misses = registry.counter("serve.cache.misses")
+    accepted = registry.counter("serve.accepted_total")
+    abstained = registry.counter("serve.abstained_total")
+    registry.counter("serve.shed_total").inc(2)
+    registry.gauge("serve.lane0.breaker_state").set(0)
+    registry.gauge("serve.lane1.breaker_state").set(2)
+    registry.gauge("serve.queue_depth").set(4)
+    latency = registry.histogram("serve.latency_s")
+    frames = []
+    for frame in range(3):
+        for i in range(200):
+            requests.inc()
+            (hits if i % 3 == 0 else misses).inc()
+            (abstained if i % 10 == 0 else accepted).inc()
+            latency.observe(0.003 + 0.0002 * (i % 25) + 0.001 * frame)
+        frames.append(registry.snapshot())
+    return frames
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top",
+        description="Live console view of serving-fleet metrics.",
+    )
+    parser.add_argument(
+        "--snapshot", metavar="PATH",
+        help="snapshot JSON file to watch (as written by SnapshotWriter)",
+    )
+    parser.add_argument("--interval", type=float, default=1.0)
+    parser.add_argument(
+        "--iterations", type=int, default=0,
+        help="number of frames to render (0 = until interrupted)",
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="render three synthetic frames"
+    )
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        prev = None
+        for frame in _demo_frames():
+            print(render(frame, prev, dt_s=args.interval))
+            print()
+            prev = frame
+        return 0
+
+    if not args.snapshot:
+        parser.error("--snapshot PATH is required (or use --demo)")
+
+    prev: Optional[Dict[str, Any]] = None
+    iteration = 0
+    try:
+        while True:
+            try:
+                curr = _load(args.snapshot)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"[waiting for snapshot: {exc}]", file=sys.stderr)
+                curr = None
+            if curr is not None:
+                print(render(curr, prev, dt_s=args.interval))
+                print()
+                prev = curr
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -59,6 +59,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.aggregate import FleetAggregator, mergeable_snapshot
+from ..obs.flight import dump_flight, record_flight_event
+from ..obs.trace import current_tracer, remote_span
 from ..resilience.chaos import chaos_point
 from ..resilience.retry import RetryPolicy
 from .pool import WorkerCrashed, WorkerPool, parallel_supported
@@ -226,6 +229,11 @@ class DataParallelEngine:
         self._m_deaths = reg.counter("resilience.worker.deaths")
         self._m_restarts = reg.counter("resilience.worker.restarts")
         self._m_retries = reg.counter("resilience.step.retries")
+        #: Fleet telemetry: worker registries are polled over the pipes
+        #: (:meth:`poll_telemetry`) and merged here; a crashed worker's
+        #: last snapshot is retired into the baseline, not lost.
+        self.fleet = FleetAggregator()
+        self._registry = reg
 
     # ------------------------------------------------------------------
     def _start(self, inputs: np.ndarray, labels: np.ndarray, weights: np.ndarray) -> None:
@@ -336,15 +344,26 @@ class DataParallelEngine:
         """One attempt at the two-phase protocol over the active set."""
         active = sorted(self._active)
         bounds = _shard_bounds(n, len(active))
+        # Disarmed cost: one global read per step attempt.  Armed, the
+        # step span's context rides each shard dispatch and the workers'
+        # shard-forward span records come home with the partials.
+        tracer = current_tracer()
+        step_span = (
+            tracer.start_span("parallel.step", n=n, workers=len(active))
+            if tracer is not None else None
+        )
+        ctx = tuple(step_span.context) if step_span is not None else None
         dead: List[int] = []
         delivered: List[int] = []
         for rank, (lo, hi) in zip(active, bounds):
             try:
-                self._pool.send(rank, ("step", lo, hi))
+                self._pool.send(rank, ("step", lo, hi, ctx))
                 delivered.append(rank)
             except (BrokenPipeError, OSError):
                 dead.append(rank)
         if dead:
+            if step_span is not None:
+                tracer.end(step_span, status="error")
             raise _StepFailure(dead + self._abort_ranks(delivered))
 
         partials = []
@@ -355,7 +374,13 @@ class DataParallelEngine:
                 dead.append(rank)
         if dead:
             survivors = [r for r in active if r not in dead]
+            if step_span is not None:
+                tracer.end(step_span, status="error")
             raise _StepFailure(dead + self._abort_ranks(survivors))
+        if tracer is not None:
+            for p in partials:
+                if len(p) > 5 and p[5] is not None:
+                    tracer.ingest(p[5])
         u = sum(p[1] for p in partials)
         v = sum(p[2] for p in partials)
         w = sum(p[3] for p in partials)
@@ -375,7 +400,11 @@ class DataParallelEngine:
                     dead.append(rank)
         if dead:
             survivors = [r for r in active if r not in dead]
+            if step_span is not None:
+                tracer.end(step_span, status="error")
             raise _StepFailure(dead + self._abort_ranks(survivors))
+        if step_span is not None:
+            tracer.end(step_span)
 
         grads = self._arena.view("grads")
         np.sum(grads, axis=0, out=self._grad_total)
@@ -422,6 +451,14 @@ class DataParallelEngine:
             self._active.discard(rank)
             grads[rank].fill(0)
             self._m_deaths.inc()
+            # The casualty's in-process registries are gone; keep its
+            # last-published snapshot in the fleet totals.
+            self.fleet.retire(f"rank{rank}")
+            record_flight_event(
+                "parallel_worker_death", rank=rank,
+                exitcode=self._pool.exitcode(rank),
+            )
+            dump_flight("worker-crash")
             logger.warning(
                 "parallel worker %d lost (exit code %s)",
                 rank,
@@ -465,6 +502,32 @@ class DataParallelEngine:
                 "data-parallel pool degraded below two workers; "
                 "fall back to serial execution"
             )
+        self.poll_telemetry()
+
+    def poll_telemetry(self) -> None:
+        """Pull every active worker's metric snapshot into the fleet.
+
+        Safe only between steps (the pipes must be at protocol
+        top-level); the trainer calls it via :meth:`health_check` at
+        epoch boundaries.  An unresponsive worker is skipped — its
+        death will be noticed by the next step or heartbeat.
+        """
+        if self._pool is None:
+            return
+        for rank in sorted(self._active):
+            try:
+                self._pool.send(rank, ("telemetry",))
+                reply = self._pool.recv(rank, timeout=min(self._timeout, 30.0))
+            except (WorkerCrashed, OSError):
+                continue
+            if isinstance(reply, tuple) and reply and reply[0] == "telemetry":
+                self.fleet.publish(f"rank{rank}", reply[2])
+
+    def telemetry_snapshot(self) -> dict:
+        """Fleet-wide mergeable snapshot: workers + the parent registry."""
+        return self.fleet.merged(
+            extra=[mergeable_snapshot(self._registry, "parent")]
+        )
 
     @property
     def active_workers(self) -> int:
@@ -490,16 +553,30 @@ class DataParallelEngine:
 
 # ----------------------------------------------------------------------
 def _engine_worker(rank: int, num_workers: int, pipe, payload) -> None:
-    """Worker side of the two-phase protocol (runs in a subprocess)."""
+    """Worker side of the two-phase protocol (runs in a subprocess).
+
+    Telemetry lives in a fresh worker-local registry (forked children
+    inherit the parent's registry contents — counting into it would
+    double-count pre-fork history); the parent pulls a mergeable
+    snapshot with a ``("telemetry",)`` control message.
+    """
+    import time as _time
+
     from .. import nn
     from ..nn import functional as F
     from ..nn.tensor import Tensor, set_default_dtype
+    from ..obs.aggregate import mergeable_snapshot as _snapshot
+    from ..obs.metrics import MetricsRegistry
 
     set_default_dtype(np.dtype(payload["dtype"]).type)
     arena = ShmArena.attach(payload["handle"])
     model = payload["model"]
     spec: ObjectiveSpec = payload["objective"]
     model.train()
+    registry = MetricsRegistry()
+    m_steps = registry.counter("parallel.worker.steps")
+    m_items = registry.counter("parallel.worker.items")
+    m_shard = registry.histogram("parallel.worker.shard_s")
 
     params = list(model.parameters())
     sizes = [int(p.data.size) for p in params]
@@ -532,42 +609,54 @@ def _engine_worker(rank: int, num_workers: int, pipe, payload) -> None:
             if tag == "abort":  # nothing in flight — just acknowledge
                 pipe.send(("aborted",))
                 continue
-            _, lo, hi = message
+            if tag == "telemetry":
+                pipe.send(("telemetry", rank, _snapshot(registry, f"rank{rank}")))
+                continue
+            lo, hi = message[1], message[2]
+            ctx = message[3] if len(message) > 3 else None
             chaos_point("parallel.worker.step", rank=rank, lo=lo, hi=hi)
             if hi > lo:
-                x = Tensor(inputs[lo:hi])
-                if spec.kind == "selective":
-                    logits, selection = model(x)
-                else:
-                    outputs = model(x)
-                    logits = outputs[0] if isinstance(outputs, tuple) else outputs
-                    selection = None
-                per_sample = nn.cross_entropy(
-                    logits, labels[lo:hi], reduction="none"
-                )
-                # Same float32 weight cast as the serial objective.
-                per_sample = per_sample * Tensor(
-                    np.asarray(weights[lo:hi], dtype=np.float32)
-                )
-                w_sum = per_sample.sum()
-                if selection is not None:
-                    u_sum = (per_sample * selection).sum()
-                    v_sum = selection.sum()
-                else:
-                    u_sum = v_sum = None
-                correct = int(
-                    (logits.data.argmax(axis=1) == labels[lo:hi]).sum()
-                )
+                shard_started = _time.perf_counter()
+                with remote_span(
+                    "parallel.shard", ctx, rank=rank, lo=lo, hi=hi
+                ) as shard_span:
+                    x = Tensor(inputs[lo:hi])
+                    if spec.kind == "selective":
+                        logits, selection = model(x)
+                    else:
+                        outputs = model(x)
+                        logits = outputs[0] if isinstance(outputs, tuple) else outputs
+                        selection = None
+                    per_sample = nn.cross_entropy(
+                        logits, labels[lo:hi], reduction="none"
+                    )
+                    # Same float32 weight cast as the serial objective.
+                    per_sample = per_sample * Tensor(
+                        np.asarray(weights[lo:hi], dtype=np.float32)
+                    )
+                    w_sum = per_sample.sum()
+                    if selection is not None:
+                        u_sum = (per_sample * selection).sum()
+                        v_sum = selection.sum()
+                    else:
+                        u_sum = v_sum = None
+                    correct = int(
+                        (logits.data.argmax(axis=1) == labels[lo:hi]).sum()
+                    )
+                m_steps.inc()
+                m_items.inc(hi - lo)
+                m_shard.observe(_time.perf_counter() - shard_started)
                 pipe.send((
                     "partial",
                     float(u_sum.data) if u_sum is not None else 0.0,
                     float(v_sum.data) if v_sum is not None else 0.0,
                     float(w_sum.data),
                     correct,
+                    shard_span.to_record() if shard_span is not None else None,
                 ))
             else:  # empty shard: stay in protocol lockstep
                 w_sum = u_sum = v_sum = None
-                pipe.send(("partial", 0.0, 0.0, 0.0, 0))
+                pipe.send(("partial", 0.0, 0.0, 0.0, 0, None))
 
             # Phase 2: wait for the coefficients, servicing control
             # messages; "abort" drops the step and returns to top.
@@ -583,6 +672,11 @@ def _engine_worker(rank: int, num_workers: int, pipe, payload) -> None:
                 if tag == "abort":
                     pipe.send(("aborted",))
                     break
+                if tag == "telemetry":
+                    pipe.send(
+                        ("telemetry", rank, _snapshot(registry, f"rank{rank}"))
+                    )
+                    continue
                 _, k_u, k_v, k_w = message
                 model.zero_grad()
                 if w_sum is not None:

@@ -256,7 +256,12 @@ class WorkerPool:
         The old process is force-stopped, its pipe closed, and a fresh
         process started with the same ``worker_fn`` / ``payload``.
         Callers should :meth:`ping` afterwards to confirm readiness.
+        Every respawn is counted in ``parallel.worker.respawns`` and
+        noted in the flight-recorder ring; higher layers own carrying
+        forward the casualty's published metrics (the replacement's
+        registries start from zero).
         """
+        exitcode = self.exitcode(rank)
         self.kill(rank)
         old_pipe = self._pipes[rank]
         if old_pipe is not None:
@@ -266,6 +271,14 @@ class WorkerPool:
                 pass
         with blas_single_thread():
             self._spawn(rank)
+        try:
+            from ..obs.flight import record_flight_event
+            from ..obs.metrics import default_registry
+
+            default_registry().counter("parallel.worker.respawns").inc()
+            record_flight_event("worker_respawn", rank=rank, exitcode=exitcode)
+        except Exception:  # pragma: no cover - telemetry is best-effort
+            pass
 
     # ------------------------------------------------------------------
     def shutdown(self, grace: Optional[float] = None) -> None:

@@ -46,6 +46,23 @@ _OWNED_SEGMENTS: Dict[str, int] = {}
 _atexit_registered = False
 
 
+def _account_owned_segment(delta_segments: int, delta_bytes: int) -> None:
+    """Mirror owner-side arena lifecycle into ``parallel.shm.*`` gauges.
+
+    Best-effort: gauge updates must never interfere with segment
+    creation/cleanup (which can run from finalizers and atexit hooks,
+    possibly during interpreter teardown).
+    """
+    try:
+        from ..obs.metrics import default_registry
+
+        registry = default_registry()
+        registry.gauge("parallel.shm.segments").add(delta_segments)
+        registry.gauge("parallel.shm.nbytes").add(delta_bytes)
+    except Exception:  # pragma: no cover - teardown-time import races
+        pass
+
+
 def reclaim_segment(name: str) -> bool:
     """Unlink a named segment if it still exists; True when reclaimed.
 
@@ -169,6 +186,7 @@ class ShmArena:
         segment = shared_memory.SharedMemory(
             create=True, size=_total_size(spec_list)
         )
+        _account_owned_segment(+1, segment.size)
         return cls(segment, spec_list, owner=True)
 
     def handle(self) -> Tuple[str, List[ArraySpec]]:
@@ -222,6 +240,7 @@ class ShmArena:
                 self._segment.unlink()
             except FileNotFoundError:  # pragma: no cover
                 pass
+            _account_owned_segment(-1, -self._segment.size)
 
     def __enter__(self) -> "ShmArena":
         return self

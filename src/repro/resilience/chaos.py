@@ -67,7 +67,7 @@ class _Fault:
         self.calls = 0
         self.fired = 0
 
-    def maybe_fire(self, ctx: Dict[str, Any]) -> None:
+    def maybe_fire(self, ctx: Dict[str, Any], point: str = "?") -> None:
         for key, expected in self.match.items():
             if ctx.get(key) != expected:
                 return
@@ -79,7 +79,34 @@ class _Fault:
         if self.token is not None and not _claim_token(self.token):
             return
         self.fired += 1
+        # Flight-record *before* the action runs: kill actions never
+        # return, and the post-mortem needs to show what pulled the
+        # trigger.
+        _note_fault_fired(point, self, ctx)
         self.action(ctx)
+
+
+def _note_fault_fired(point: str, fault: "_Fault", ctx: Dict[str, Any]) -> None:
+    """Record a fired fault in the obs flight ring (best-effort).
+
+    Imported lazily: ``repro.obs`` pulls this package in at import
+    time, so a top-level import here would be circular.  Only scalar
+    context survives — faults may carry whole batch arrays.
+    """
+    try:
+        from ..obs.flight import dump_flight, record_flight_event
+
+        scalars = {
+            key: value
+            for key, value in ctx.items()
+            if isinstance(value, (str, int, float, bool))
+        }
+        record_flight_event(
+            "chaos_fault", point=point, fired=fault.fired, **scalars
+        )
+        dump_flight("chaos-fault")
+    except Exception:  # pragma: no cover - obs must never break chaos
+        pass
 
 
 def _claim_token(path: str) -> bool:
@@ -121,7 +148,7 @@ class ChaosPlan:
 
     def fire(self, point: str, ctx: Dict[str, Any]) -> None:
         for fault in self._faults.get(point, ()):
-            fault.maybe_fire(ctx)
+            fault.maybe_fire(ctx, point=point)
 
     def points(self) -> List[str]:
         return sorted(self._faults)

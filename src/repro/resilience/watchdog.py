@@ -47,7 +47,24 @@ class TrainingWatchdog:
         reason = self._inspect(loss, grad_norm)
         if reason is not None:
             self.trips += 1
+            self._note_trip(reason, loss, grad_norm)
         return reason
+
+    @staticmethod
+    def _note_trip(reason: str, loss: float, grad_norm: Optional[float]) -> None:
+        """Best-effort flight-ring record; lazy import avoids the
+        ``repro.obs`` → ``repro.resilience`` import cycle."""
+        try:
+            from ..obs.flight import record_flight_event
+
+            record_flight_event(
+                "watchdog_trip",
+                reason=reason,
+                loss=repr(loss),
+                grad_norm=repr(grad_norm),
+            )
+        except Exception:  # pragma: no cover - obs must never break checks
+            pass
 
     def _inspect(self, loss: float, grad_norm: Optional[float]) -> Optional[str]:
         if not math.isfinite(loss):

@@ -25,6 +25,8 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..nn import functional as F
+from ..obs.flight import dump_flight, record_flight_event
+from ..obs.trace import current_tracer, remote_span
 from ..parallel import (
     ArraySpec,
     ShmArena,
@@ -97,9 +99,31 @@ class InProcessBackend:
 
 
 def _replica_worker(rank, num_workers, pipe, payload) -> None:
-    """Worker loop: bind the rank's arena slots, serve infer requests."""
+    """Worker loop: bind the rank's arena slots, serve infer requests.
+
+    Telemetry goes into a **fresh worker-local registry** (a forked
+    child inherits the parent's registry contents; counting into it
+    would double-count everything already recorded pre-fork).  The
+    parent pulls a mergeable snapshot with a ``("telemetry",)`` message
+    and folds it into the fleet view.
+
+    An ``("infer", count, ctx)`` message carries an optional
+    ``(trace_id, span_id)`` context: the forward pass is then wrapped
+    in a ``replica.forward`` span whose record rides back with the
+    ``("done", ...)`` ack for the parent tracer to ingest — the
+    cross-process half of a request's trace.
+    """
+    from ..obs.aggregate import mergeable_snapshot
+    from ..obs.metrics import MetricsRegistry
+
     model, handle, max_batch = payload
     infer_fn = model_infer_fn(model)
+    registry = MetricsRegistry()
+    m_batches = registry.counter("serve.worker.batches")
+    m_items = registry.counter("serve.worker.items")
+    m_infer = registry.histogram("serve.worker.infer_s")
+    import time as _time
+
     with ShmArena.attach(handle) as arena:
         inputs = arena.view(f"in{rank}")
         probs = arena.view(f"probs{rank}")
@@ -114,12 +138,26 @@ def _replica_worker(rank, num_workers, pipe, payload) -> None:
             if message[0] == "reclaim":
                 F.free_inference_scratch()
                 continue
+            if message[0] == "telemetry":
+                pipe.send(
+                    ("telemetry", rank, mergeable_snapshot(registry, f"replica{rank}"))
+                )
+                continue
             count = message[1]
+            ctx = message[2] if len(message) > 2 else None
             chaos_point("serve.replica.step", rank=rank, count=count)
-            p, s = infer_fn(inputs[:count])
+            started = _time.perf_counter()
+            with remote_span("replica.forward", ctx, rank=rank, batch=count) as span:
+                p, s = infer_fn(inputs[:count])
+            elapsed = _time.perf_counter() - started
             probs[:count] = p
             scores[:count] = s
-            pipe.send(("done", count))
+            m_batches.inc()
+            m_items.inc(count)
+            m_infer.observe(elapsed)
+            pipe.send(
+                ("done", count, span.to_record() if span is not None else None)
+            )
 
 
 class ReplicaPoolBackend:
@@ -138,7 +176,17 @@ class ReplicaPoolBackend:
     restart budget is spent, its :meth:`infer` raises
     :class:`~repro.parallel.WorkerCrashed` and the serving engine's
     circuit breaker routes around it.
+
+    With an ``aggregator`` (a :class:`repro.obs.aggregate.FleetAggregator`),
+    :meth:`poll_telemetry` pulls each replica's worker-local metric
+    snapshot over its pipe and publishes it under ``replica<lane>``;
+    :meth:`_revive` retires the casualty's last snapshot first, so a
+    respawn never erases its contribution from the fleet totals.
     """
+
+    #: Lane task envelopes carry a ``TraceContext``; the engine checks
+    #: this before passing one (injected test backends lack it).
+    accepts_trace = True
 
     def __init__(
         self,
@@ -150,6 +198,7 @@ class ReplicaPoolBackend:
         timeout: float = 120.0,
         restarts: int = 2,
         registry=None,
+        aggregator=None,
     ) -> None:
         if num_replicas < 2:
             raise ValueError("ReplicaPoolBackend needs >= 2 replicas")
@@ -174,6 +223,7 @@ class ReplicaPoolBackend:
 
             registry = default_registry()
         self._m_restarts = registry.counter("serve.replica.restarts")
+        self._aggregator = aggregator
         try:
             self._pool = WorkerPool(
                 num_replicas,
@@ -185,26 +235,58 @@ class ReplicaPoolBackend:
             self._arena.close()
             raise
 
-    def infer(self, lane: int, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def infer(
+        self, lane: int, inputs: np.ndarray, trace_ctx=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         count = len(inputs)
         if count > self._max_batch:
             raise ValueError(f"batch of {count} exceeds max_batch {self._max_batch}")
         self._arena.view(f"in{lane}")[:count] = inputs
         try:
-            return self._infer_once(lane, count)
+            return self._infer_once(lane, count, trace_ctx)
         except WorkerCrashed:
             # The slab still holds the batch: revive the replica and
             # retry once.  A second crash (or a spent restart budget)
             # propagates for the engine's breaker to handle.
             self._revive(lane)
-            return self._infer_once(lane, count)
+            return self._infer_once(lane, count, trace_ctx)
 
-    def _infer_once(self, lane: int, count: int) -> Tuple[np.ndarray, np.ndarray]:
-        self._send(lane, ("infer", count))
-        self._pool.recv(lane)
+    def _infer_once(
+        self, lane: int, count: int, trace_ctx=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # The context crosses the boundary as a plain tuple; the reply
+        # brings the worker-side span record home for our tracer.
+        self._send(
+            lane,
+            ("infer", count, tuple(trace_ctx) if trace_ctx is not None else None),
+        )
+        ack = self._pool.recv(lane)
+        if len(ack) > 2 and ack[2] is not None:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.ingest(ack[2])
         probabilities = self._arena.view(f"probs{lane}")[:count].copy()
         scores = self._arena.view(f"scores{lane}")[:count].copy()
         return probabilities, scores
+
+    def poll_telemetry(self, lane: int):
+        """Pull one replica's metric snapshot; returns it (or ``None``).
+
+        Must be called from the lane's single driving thread (pipes are
+        request-reply).  Failures are swallowed — a dead replica's
+        telemetry is recovered by the retire-on-revive path instead.
+        """
+        try:
+            self._send(lane, ("telemetry",))
+            reply = self._pool.recv(lane, timeout=min(self._timeout, 30.0))
+        except (WorkerCrashed, OSError):
+            return None
+        if not (isinstance(reply, tuple) and reply and reply[0] == "telemetry"):
+            return None
+        snapshot = reply[2]
+        if self._aggregator is not None:
+            self._aggregator.publish(f"replica{lane}", snapshot)
+        return snapshot
 
     def _send(self, lane: int, message) -> None:
         try:
@@ -226,6 +308,16 @@ class ReplicaPoolBackend:
             "replica %d lost (exit code %s); respawning",
             lane, self._pool.exitcode(lane),
         )
+        # The casualty's registry died with it: fold its last-published
+        # snapshot into the fleet baseline before the replacement
+        # starts publishing from zero.
+        if self._aggregator is not None:
+            self._aggregator.retire(f"replica{lane}")
+        record_flight_event(
+            "replica_crash", lane=lane, exitcode=self._pool.exitcode(lane),
+            restarts_used=self._restarts_used[lane],
+        )
+        dump_flight("replica-crash")
         try:
             self._pool.respawn(lane)
             self._pool.ping(lane, timeout=min(self._timeout, 30.0))
@@ -261,11 +353,13 @@ def make_backend(
     timeout: float = 120.0,
     restarts: int = 2,
     registry=None,
+    aggregator=None,
 ):
     """Replica pool when possible, in-process fallback otherwise."""
     if num_replicas > 1 and parallel_supported(num_replicas):
         return ReplicaPoolBackend(
             model, num_replicas, max_batch, input_hw, num_classes,
             timeout=timeout, restarts=restarts, registry=registry,
+            aggregator=aggregator,
         )
     return InProcessBackend(model_infer_fn(model))

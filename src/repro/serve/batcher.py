@@ -25,9 +25,17 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, List, Optional, Tuple
 
-__all__ = ["Overloaded", "MicroBatcher"]
+__all__ = ["Overloaded", "MicroBatcher", "FLUSH_SIZE", "FLUSH_DEADLINE", "FLUSH_CLOSE"]
+
+#: Why a batch flushed: it filled up, its oldest request's deadline
+#: expired, or the batcher was closed and is draining.  Surfaced per
+#: batch so traces and ``serve.batch.flush.*`` counters can attribute
+#: latency to the right trigger.
+FLUSH_SIZE = "size"
+FLUSH_DEADLINE = "deadline"
+FLUSH_CLOSE = "close"
 
 
 class Overloaded(RuntimeError):
@@ -89,6 +97,17 @@ class MicroBatcher:
         (an *idle* tick — callers use it to reclaim scratch memory) or
         when the batcher is closed and drained.
         """
+        result = self.get_batch_with_reason(timeout)
+        return None if result is None else result[0]
+
+    def get_batch_with_reason(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[List[Any], str]]:
+        """Like :meth:`get_batch`, also naming the flush trigger.
+
+        Returns ``(values, reason)`` with ``reason`` one of
+        :data:`FLUSH_SIZE` / :data:`FLUSH_DEADLINE` / :data:`FLUSH_CLOSE`.
+        """
         wait_deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             # Phase 1: wait for the first pending request.
@@ -107,15 +126,20 @@ class MicroBatcher:
             # drain the queue while we wait — loop back to phase 1.
             while True:
                 if not self._pending:
-                    return self.get_batch(
+                    return self.get_batch_with_reason(
                         None if wait_deadline is None
                         else max(0.0, wait_deadline - time.monotonic())
                     )
-                if len(self._pending) >= self.max_batch_size or self._closed:
+                if len(self._pending) >= self.max_batch_size:
+                    reason = FLUSH_SIZE
+                    break
+                if self._closed:
+                    reason = FLUSH_CLOSE
                     break
                 flush_at = self._pending[0].enqueued_at + self.max_latency_s
                 remaining = flush_at - time.monotonic()
                 if remaining <= 0:
+                    reason = FLUSH_DEADLINE
                     break
                 self._cond.wait(remaining)
             batch = [
@@ -123,7 +147,7 @@ class MicroBatcher:
                 for _ in range(min(self.max_batch_size, len(self._pending)))
             ]
             self._cond.notify_all()
-            return batch
+            return batch, reason
 
     # ------------------------------------------------------------------
     def close(self) -> None:

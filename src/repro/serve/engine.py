@@ -36,8 +36,12 @@ import numpy as np
 from ..core.selective import ABSTAIN
 from ..data.wafer import grid_to_tensor
 from ..nn import functional as F
+from ..obs.aggregate import FleetAggregator, mergeable_snapshot, summarize_snapshot
+from ..obs.flight import dump_flight, record_flight_event
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.timing import TimerTree
+from ..obs.top import BREAKER_STATE_CODES
+from ..obs.trace import current_tracer
 from ..resilience.breaker import CircuitBreaker
 from .backend import make_backend, model_infer_fn
 from .batcher import MicroBatcher, Overloaded
@@ -181,13 +185,15 @@ class PendingResult:
 
 
 class _Request:
-    __slots__ = ("tensor", "key", "submitted_at", "future")
+    __slots__ = ("tensor", "key", "submitted_at", "future", "trace")
 
-    def __init__(self, tensor, key, submitted_at, future) -> None:
+    def __init__(self, tensor, key, submitted_at, future, trace=None) -> None:
         self.tensor = tensor
         self.key = key
         self.submitted_at = submitted_at
         self.future = future
+        # Root span of this request's trace; None while disarmed.
+        self.trace = trace
 
 
 class ServeEngine:
@@ -236,6 +242,10 @@ class ServeEngine:
             tau = float(getattr(model, "threshold", 0.0))
         self.threshold = float(tau)
 
+        #: Fleet-wide telemetry: replica workers publish mergeable
+        #: snapshots here (polled on lane idle ticks and runner exit);
+        #: :meth:`telemetry_snapshot` merges them with this process.
+        self.fleet = FleetAggregator()
         self._backend = backend if backend is not None else make_backend(
             model,
             self.config.num_replicas,
@@ -245,6 +255,7 @@ class ServeEngine:
             timeout=self.config.worker_timeout_s,
             restarts=self.config.replica_restarts,
             registry=self._registry,
+            aggregator=self.fleet,
         )
         # Degradation ladder: replica lane → (breaker opens) →
         # in-process fallback on the parent's copy of the model.  With
@@ -282,15 +293,28 @@ class ServeEngine:
         self._rejected = reg.counter("serve.rejected_total")
         self._fallback_total = reg.counter("serve.fallback_total")
         self._breaker_opened = reg.counter("serve.breaker.open")
+        self._accepted_total = reg.counter("serve.accepted_total")
+        self._abstained_total = reg.counter("serve.abstained_total")
+        self._flush_counters = {
+            reason: reg.counter(f"serve.batch.flush.{reason}")
+            for reason in ("size", "deadline", "close")
+        }
+        # Per-lane breaker state, encoded per obs.top.BREAKER_STATE_CODES
+        # (0 closed / 1 half_open / 2 open) so the ops console and
+        # fleet-merged snapshots can show lane health.
+        self._breaker_gauges = tuple(
+            reg.gauge(f"serve.lane{lane}.breaker_state")
+            for lane in range(self._backend.num_lanes)
+        )
 
         #: One breaker per lane, gating its backend calls.
         self.breakers: Tuple[CircuitBreaker, ...] = tuple(
             CircuitBreaker(
                 failure_threshold=self.config.breaker_failures,
                 reset_timeout_s=self.config.breaker_reset_s,
-                on_open=self._breaker_opened.inc,
+                on_open=self._make_breaker_open_hook(lane),
             )
-            for _ in range(self._backend.num_lanes)
+            for lane in range(self._backend.num_lanes)
         )
 
         #: One span tree per lane; TimerTree is single-threaded.
@@ -327,6 +351,13 @@ class ServeEngine:
         grid = np.asarray(grid)
         self._validate(grid)
         self._requests.inc()
+        # THE disarmed fast path: one global read.  Everything tracing
+        # costs beyond this probe only runs when a tracer is armed.
+        tracer = current_tracer()
+        root = (
+            tracer.start_span("serve.request", shape=grid.shape)
+            if tracer is not None else None
+        )
 
         key = None
         if self.cache is not None:
@@ -335,19 +366,30 @@ class ServeEngine:
             if entry is not None:
                 self._cache_hits.inc()
                 future = PendingResult()
+                latency = time.monotonic() - started
                 future._set(self._finish(
                     entry.probabilities, entry.score,
-                    cached=True, latency_s=time.monotonic() - started,
+                    cached=True, latency_s=latency,
                 ))
                 self._latency.observe(time.monotonic() - started)
+                if root is not None:
+                    root.set("cache", "hit")
+                    tracer.end(root, duration_s=latency)
                 return future
             self._cache_misses.inc()
+            if root is not None:
+                root.set("cache", "miss")
 
-        request = _Request(grid_to_tensor(grid), key, started, PendingResult())
+        request = _Request(
+            grid_to_tensor(grid), key, started, PendingResult(), trace=root
+        )
         try:
             self._batcher.put(request)
         except Overloaded:
             self._shed.inc()
+            if root is not None:
+                root.event("shed", queue_limit=self.config.queue_limit)
+                tracer.end(root, status="error")
             raise
         self._queue_depth.set(self._batcher.depth)
         return request.future
@@ -425,6 +467,7 @@ class ServeEngine:
     ) -> ServeResult:
         raw_label = int(np.argmax(probabilities))
         accepted = bool(score >= self.threshold)
+        (self._accepted_total if accepted else self._abstained_total).inc()
         return ServeResult(
             label=raw_label if accepted else ABSTAIN,
             raw_label=raw_label,
@@ -444,22 +487,54 @@ class ServeEngine:
                 (self.config.max_batch_size, 1, h, w), dtype=np.float32
             )
         while True:
-            batch = self._batcher.get_batch(timeout=self.config.idle_reclaim_s)
-            if batch is None:
+            flushed = self._batcher.get_batch_with_reason(
+                timeout=self.config.idle_reclaim_s
+            )
+            if flushed is None:
+                # Lanes are single-threaded over their pipes, so the
+                # telemetry poll rides the same runner thread: on every
+                # idle tick and once more on the way out, so snapshots
+                # are fresh after close() returns.
+                self._poll_lane_telemetry(lane)
                 if self._batcher.closed:
                     return
                 self._idle_reclaim()
                 continue
+            batch, flush_reason = flushed
             self._queue_depth.set(self._batcher.depth)
             try:
-                self._process(lane, tree, batch, staging)
+                self._process(lane, tree, batch, staging, flush_reason)
             except BaseException as error:  # keep the lane alive
                 self._errors.inc()
                 for request in batch:
                     request.future._fail(error)
 
-    def _process(self, lane: int, tree: TimerTree, batch, staging) -> None:
+    def _process(self, lane: int, tree: TimerTree, batch, staging, flush_reason) -> None:
         batch_started = time.monotonic()
+        # One probe per batch; `request.trace` is only ever non-None
+        # when a tracer was armed at submit time.
+        tracer = current_tracer()
+        traced = (
+            [r for r in batch if r.trace is not None] if tracer is not None else []
+        )
+        batch_span = None
+        if traced:
+            # The batch span parents every replica-forward span; its own
+            # parent is the first traced request (spans of the other
+            # requests still share the batch via the `lane`/`size`
+            # attributes and their queue spans' timing overlap).
+            batch_span = tracer.start_span(
+                "serve.batch", parent=traced[0].trace.context,
+                lane=lane, size=len(batch), flush=flush_reason,
+            )
+            for request in traced:
+                queue_span = tracer.start_span(
+                    "serve.queue", parent=request.trace.context,
+                    start_unix=request.trace.start_unix,
+                )
+                tracer.end(
+                    queue_span, duration_s=batch_started - request.submitted_at
+                )
         with tree.span("batch"):
             count = len(batch)
             if staging is None:
@@ -470,7 +545,7 @@ class ServeEngine:
                     inputs[i] = request.tensor
             with tree.span("infer"):
                 compute_started = time.monotonic()
-                probabilities, scores = self._infer(lane, inputs)
+                probabilities, scores = self._infer(lane, inputs, batch_span)
                 compute_s = time.monotonic() - compute_started
             with tree.span("complete"):
                 completed = time.monotonic()
@@ -483,6 +558,15 @@ class ServeEngine:
                         probabilities[i], score, cached=False, latency_s=latency,
                     ))
                     self._latency.observe(latency)
+                    if request.trace is not None and tracer is not None:
+                        respond = tracer.start_span(
+                            "serve.respond", parent=request.trace.context,
+                        )
+                        tracer.end(respond)
+                        tracer.end(request.trace, duration_s=latency)
+        if batch_span is not None:
+            tracer.end(batch_span)
+        self._flush_counters[flush_reason].inc()
         self._batches.inc()
         self._batch_size_hist.observe(count)
         self._batch_compute.observe(compute_s)
@@ -496,7 +580,9 @@ class ServeEngine:
         with self._idle_lock:
             self._reclaimed = False
 
-    def _infer(self, lane: int, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def _infer(
+        self, lane: int, inputs: np.ndarray, batch_span=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Breaker-gated backend call with in-process degradation.
 
         A closed (or half-open) breaker routes through the backend and
@@ -508,13 +594,27 @@ class ServeEngine:
         ``predict_batched`` path.  Without a model (injected-backend
         setups) there is nothing to degrade to and the error
         propagates, failing only this batch.
+
+        When a ``batch_span`` is open and the backend advertises
+        ``accepts_trace``, its context rides the task envelope so the
+        replica's forward pass joins the request's trace.
         """
         breaker = self.breakers[lane]
         if breaker.allow():
             try:
-                result = self._backend.infer(lane, inputs)
+                if batch_span is not None and getattr(
+                    self._backend, "accepts_trace", False
+                ):
+                    result = self._backend.infer(
+                        lane, inputs, trace_ctx=batch_span.context
+                    )
+                else:
+                    result = self._backend.infer(lane, inputs)
             except Exception as error:
                 breaker.record_failure()
+                self._refresh_breaker_gauge(lane)
+                if batch_span is not None:
+                    batch_span.event("backend_failure", error=repr(error))
                 if self._fallback_infer is None:
                     raise
                 logger.warning(
@@ -523,6 +623,7 @@ class ServeEngine:
                 )
             else:
                 breaker.record_success()
+                self._refresh_breaker_gauge(lane)
                 return result
         elif self._fallback_infer is None:
             raise RuntimeError(
@@ -530,9 +631,53 @@ class ServeEngine:
                 "model is available"
             )
         self._fallback_total.inc()
+        record_flight_event("serve_fallback", lane=lane, batch=len(inputs))
+        if batch_span is not None:
+            batch_span.event("fallback", lane=lane)
         # predict_batched shares inference scratch; one lane at a time.
         with self._fallback_lock:
             return self._fallback_infer(inputs)
+
+    def _make_breaker_open_hook(self, lane: int):
+        """Breaker-open side effects: counter, lane gauge, flight dump."""
+
+        def hook() -> None:
+            self._breaker_opened.inc()
+            self._breaker_gauges[lane].set(BREAKER_STATE_CODES["open"])
+            record_flight_event("breaker_open", lane=lane)
+            dump_flight("breaker-open")
+
+        return hook
+
+    def _refresh_breaker_gauge(self, lane: int) -> None:
+        self._breaker_gauges[lane].set(
+            BREAKER_STATE_CODES.get(self.breakers[lane].state, -1)
+        )
+
+    def _poll_lane_telemetry(self, lane: int) -> None:
+        """Pull one replica's metric snapshot into the fleet aggregator.
+
+        Only meaningful for backends with per-lane worker processes;
+        in-process and injected backends simply lack the hook.
+        """
+        poll = getattr(self._backend, "poll_telemetry", None)
+        if poll is not None:
+            poll(lane)
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """Fleet-wide mergeable snapshot: every replica + this process.
+
+        Replica snapshots are as fresh as the last idle-tick poll (or
+        runner exit); counters from crashed-and-respawned replicas are
+        carried forward by the aggregator's retire baseline.
+        """
+        return self.fleet.merged(
+            extra=[mergeable_snapshot(self._registry, "parent")]
+        )
+
+    def telemetry_summary(self) -> Dict[str, object]:
+        """:meth:`telemetry_snapshot` in registry-snapshot (summary) form."""
+        return summarize_snapshot(self.telemetry_snapshot())
 
     def _idle_reclaim(self) -> None:
         """Free inference scratch once per idle period (all lanes race)."""

@@ -1,0 +1,215 @@
+"""Tests for cross-process metric aggregation and mergeable histograms.
+
+The quantile-accuracy and merge-associativity tests are property-style:
+they sweep distributions/partitions and assert the documented bounds
+(log-spaced buckets at 8 per octave ⇒ interior quantiles within ~5%
+relative error; bucket addition exactly order-invariant — the float
+``sum`` moment is compared approximately, as addition order shuffles
+its last ulp).
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.aggregate import (
+    FleetAggregator,
+    merge_histogram_states,
+    merge_snapshots,
+    mergeable_snapshot,
+    state_quantile,
+    summarize_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry, bucket_key, bucket_value
+
+#: Documented accuracy of bucket quantiles (half-bucket width ~4.4%,
+#: with a little slack for rank interpolation on small samples).
+REL_TOL = 0.06
+
+
+def _assert_states_match(a, b):
+    """Bucket tables and counts are exactly equal; float moments agree
+    up to addition-order rounding."""
+    assert a["count"] == b["count"]
+    assert a["buckets"] == b["buckets"]
+    assert a["min"] == pytest.approx(b["min"])
+    assert a["max"] == pytest.approx(b["max"])
+    assert a["sum"] == pytest.approx(b["sum"])
+
+
+def _observe_all(registry, name, values):
+    hist = registry.histogram(name)
+    for value in values:
+        hist.observe(float(value))
+
+
+def _distributions():
+    rng = np.random.default_rng(7)
+    return {
+        "lognormal": rng.lognormal(-6.0, 1.0, size=2000),
+        "uniform": rng.uniform(0.001, 5.0, size=2000),
+        "exponential": rng.exponential(0.01, size=2000),
+        "bimodal": np.concatenate(
+            [rng.normal(0.002, 0.0002, 1000), rng.normal(0.2, 0.02, 1000)]
+        ).clip(min=1e-6),
+    }
+
+
+class TestBucketKeys:
+    def test_round_trip_within_bucket_width(self):
+        for value in (1e-6, 0.003, 1.0, 17.5, 4096.0):
+            assert bucket_value(bucket_key(value)) == pytest.approx(
+                value, rel=0.05
+            )
+
+    def test_zero_and_negative(self):
+        assert bucket_key(0.0) == "z"
+        assert bucket_value("z") == 0.0
+        assert bucket_value(bucket_key(-0.5)) == pytest.approx(-0.5, rel=0.05)
+
+
+class TestQuantileAccuracy:
+    @pytest.mark.parametrize("name", sorted(_distributions()))
+    @pytest.mark.parametrize("q", [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0])
+    def test_against_numpy_quantile(self, name, q):
+        values = _distributions()[name]
+        registry = MetricsRegistry()
+        _observe_all(registry, "h", values)
+        state = mergeable_snapshot(registry)["histograms"]["h"]
+        estimate = state_quantile(state, q)
+        # inverted_cdf returns an actual order statistic, matching the
+        # bucket estimator's convention; linear interpolation would
+        # invent a value inside the bimodal density gap at the median.
+        exact = float(np.quantile(values, q, method="inverted_cdf"))
+        assert estimate == pytest.approx(exact, rel=REL_TOL)
+
+    def test_extremes_are_exact(self):
+        values = [0.001, 0.5, 3.0]
+        registry = MetricsRegistry()
+        _observe_all(registry, "h", values)
+        state = mergeable_snapshot(registry)["histograms"]["h"]
+        assert state_quantile(state, 0.0) == 0.001
+        assert state_quantile(state, 1.0) == 3.0
+
+    def test_empty_state_is_zero(self):
+        assert state_quantile({"count": 0, "buckets": {}}, 0.5) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            state_quantile({"count": 1, "buckets": {"z": 1}}, 1.5)
+
+
+class TestMergeAlgebra:
+    def _states(self, pieces):
+        states = []
+        for piece in pieces:
+            registry = MetricsRegistry()
+            _observe_all(registry, "h", piece)
+            states.append(mergeable_snapshot(registry)["histograms"]["h"])
+        return states
+
+    def test_merge_equals_single_process(self):
+        values = _distributions()["lognormal"]
+        states = self._states(np.array_split(values, 5))
+        merged = merge_histogram_states(states)
+        whole_registry = MetricsRegistry()
+        _observe_all(whole_registry, "h", values)
+        whole = mergeable_snapshot(whole_registry)["histograms"]["h"]
+        _assert_states_match(merged, whole)
+
+    def test_merge_is_order_invariant(self):
+        values = _distributions()["bimodal"]
+        states = self._states(np.array_split(values, 4))
+        forward = merge_histogram_states(states)
+        backward = merge_histogram_states(states[::-1])
+        _assert_states_match(forward, backward)
+
+    def test_merge_is_associative(self):
+        values = _distributions()["uniform"]
+        a, b, c = self._states(np.array_split(values, 3))
+        left = merge_histogram_states([merge_histogram_states([a, b]), c])
+        right = merge_histogram_states([a, merge_histogram_states([b, c])])
+        _assert_states_match(left, right)
+
+    def test_empty_states_are_identity(self):
+        (state,) = self._states([[0.5, 1.0]])
+        empty = {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "buckets": {}}
+        assert merge_histogram_states([state, empty]) == merge_histogram_states(
+            [state]
+        )
+
+
+class TestSnapshotMerge:
+    def _worker(self, requests, latencies, ts):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests_total").inc(requests)
+        registry.gauge("serve.queue_depth").set(float(requests))
+        _observe_all(registry, "serve.latency_s", latencies)
+        snapshot = mergeable_snapshot(registry, source=f"w{requests}")
+        snapshot["ts"] = ts
+        return snapshot
+
+    def test_counters_sum_across_workers(self):
+        merged = merge_snapshots(
+            [self._worker(10, [0.01], 1.0), self._worker(32, [0.02], 2.0)]
+        )
+        assert merged["counters"]["serve.requests_total"] == 42
+
+    def test_gauges_freshest_wins(self):
+        merged = merge_snapshots(
+            [self._worker(10, [0.01], ts=5.0), self._worker(32, [0.02], ts=2.0)]
+        )
+        assert merged["gauges"]["serve.queue_depth"] == 10.0
+        assert merged["ts"] == 5.0
+
+    def test_histograms_merge_counts(self):
+        merged = merge_snapshots(
+            [self._worker(1, [0.01] * 3, 1.0), self._worker(2, [0.02] * 4, 2.0)]
+        )
+        assert merged["histograms"]["serve.latency_s"]["count"] == 7
+
+    def test_summarize_matches_registry_shape(self):
+        snapshot = self._worker(5, [0.01, 0.02, 0.03], 1.0)
+        summary = summarize_snapshot(snapshot)
+        hist = summary["histograms"]["serve.latency_s"]
+        assert set(hist) == {
+            "count", "sum", "mean", "min", "max", "p50", "p95", "p99",
+        }
+        assert hist["count"] == 3
+        assert hist["mean"] == pytest.approx(0.02)
+
+
+class TestFleetAggregator:
+    def _snapshot(self, count):
+        registry = MetricsRegistry()
+        registry.counter("work.items").inc(count)
+        return mergeable_snapshot(registry)
+
+    def test_merged_covers_live_sources_and_extra(self):
+        fleet = FleetAggregator()
+        fleet.publish("w0", self._snapshot(3))
+        fleet.publish("w1", self._snapshot(4))
+        merged = fleet.merged(extra=[self._snapshot(5)])
+        assert merged["counters"]["work.items"] == 12
+
+    def test_republish_replaces_not_accumulates(self):
+        fleet = FleetAggregator()
+        fleet.publish("w0", self._snapshot(3))
+        fleet.publish("w0", self._snapshot(7))
+        assert fleet.merged()["counters"]["work.items"] == 7
+
+    def test_retire_carries_totals_across_respawn(self):
+        # The crash/respawn metrics-loss fix: the casualty's last
+        # snapshot survives as baseline while its replacement restarts
+        # its registry from zero.
+        fleet = FleetAggregator()
+        fleet.publish("w0", self._snapshot(9))
+        fleet.retire("w0")
+        assert fleet.retired == 1
+        fleet.publish("w0", self._snapshot(2))  # respawned, fresh registry
+        assert fleet.merged()["counters"]["work.items"] == 11
+
+    def test_retire_unknown_source_is_noop(self):
+        fleet = FleetAggregator()
+        fleet.retire("ghost")
+        assert fleet.retired == 0
+        assert fleet.merged()["counters"] == {}

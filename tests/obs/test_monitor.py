@@ -112,6 +112,46 @@ class TestAlerting:
         assert len(alerts) == 1
         assert alerts[0]["data"]["min_coverage"] == 0.5
 
+    def test_structured_drift_alert_record(self, tmp_path):
+        from repro.obs.events import RunLogger, load_run
+        from repro.obs.monitor import DRIFT_ALERT_SCHEMA_VERSION
+
+        with RunLogger(str(tmp_path / "r")) as run_logger:
+            monitor = self.make_monitor(run_logger=run_logger)
+            monitor.observe(synthetic_prediction([False] * 20))
+        drift = [
+            r for r in load_run(str(tmp_path / "r"))
+            if r["type"] == "drift_alert"
+        ]
+        assert len(drift) == 1
+        data = drift[0]["data"]
+        assert data["alert_schema"] == DRIFT_ALERT_SCHEMA_VERSION == 1
+        assert data["kind"] == "coverage_collapse"
+        assert data["rolling_coverage"] == 0.0
+        assert data["min_coverage"] == 0.5
+        assert data["window_samples"] == 20
+        # The human-readable "alert" record still rides alongside.
+        records = load_run(str(tmp_path / "r"))
+        assert any(r["type"] == "alert" for r in records)
+
+    def test_alert_lands_in_flight_recorder(self):
+        from repro.obs.flight import (
+            default_flight_recorder,
+            reset_default_flight_recorder,
+        )
+
+        reset_default_flight_recorder()
+        try:
+            monitor = self.make_monitor()
+            monitor.observe(synthetic_prediction([False] * 20))
+            names = [
+                e["data"]["name"]
+                for e in default_flight_recorder().snapshot()
+            ]
+            assert "drift_alert" in names
+        finally:
+            reset_default_flight_recorder()
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             self.make_monitor(min_coverage=0.0)

@@ -1,0 +1,144 @@
+"""Telemetry of the data-parallel training lane.
+
+Covers the worker-side story of the obs layer: shard spans coming home
+over the pipes into the parent tracer, fleet aggregation of worker-local
+registries, and the respawn bookkeeping on the raw pool.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cnn import BackboneConfig, WaferCNN
+from repro.obs.flight import default_flight_recorder, reset_default_flight_recorder
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import arm_tracing, disarm_tracing, span_tree
+from repro.parallel import parallel_supported
+from repro.parallel.engine import DataParallelEngine, ObjectiveSpec
+from repro.parallel.pool import WorkerPool
+
+SIZE = 16
+
+needs_parallel = pytest.mark.skipif(
+    not parallel_supported(2), reason="parallel execution unavailable"
+)
+
+
+def _model():
+    return WaferCNN(
+        4,
+        BackboneConfig(
+            input_size=SIZE, conv_channels=(4, 4), conv_kernels=(3, 3),
+            fc_units=16, seed=7,
+        ),
+    )
+
+
+def _batch(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=(n, 1, SIZE, SIZE)).astype(np.float32)
+    labels = rng.integers(0, 4, size=(n,)).astype(np.int64)
+    weights = np.ones(n, dtype=np.float32)
+    return inputs, labels, weights
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    disarm_tracing()
+    yield
+    disarm_tracing()
+
+
+@needs_parallel
+class TestStepTracing:
+    def test_step_and_shard_spans_form_one_trace(self):
+        tracer = arm_tracing(recorder=False)
+        engine = DataParallelEngine(
+            _model(), ObjectiveSpec(), num_workers=2, max_batch=16,
+            registry=MetricsRegistry(),
+        )
+        try:
+            engine.train_step(*_batch())
+        finally:
+            engine.shutdown()
+        spans = tracer.spans()
+        steps = [r for r in spans if r["name"] == "parallel.step"]
+        shards = [r for r in spans if r["name"] == "parallel.shard"]
+        assert len(steps) == 1
+        assert len(shards) == 2
+        step = steps[0]
+        assert step["attrs"]["workers"] == 2
+        for shard in shards:
+            assert shard["parent_id"] == step["span_id"]
+            assert shard["trace_id"] == step["trace_id"]
+            assert shard["pid"] != os.getpid()  # recorded in the worker
+        assert {shard["attrs"]["rank"] for shard in shards} == {0, 1}
+        roots = span_tree(spans)
+        assert len(roots) == 1 and roots[0]["name"] == "parallel.step"
+
+    def test_disarmed_steps_ship_no_span_records(self):
+        engine = DataParallelEngine(
+            _model(), ObjectiveSpec(), num_workers=2, max_batch=16,
+            registry=MetricsRegistry(),
+        )
+        try:
+            stats = engine.train_step(*_batch())
+        finally:
+            engine.shutdown()
+        assert np.isfinite(stats.loss)
+
+    def test_fleet_merges_worker_step_counters(self):
+        registry = MetricsRegistry()
+        engine = DataParallelEngine(
+            _model(), ObjectiveSpec(), num_workers=2, max_batch=16,
+            registry=registry,
+        )
+        try:
+            engine.train_step(*_batch(seed=1))
+            engine.train_step(*_batch(seed=2))
+            engine.poll_telemetry()
+        finally:
+            engine.shutdown()
+        sources = engine.fleet.sources()
+        assert set(sources) == {"rank0", "rank1"}
+        per_worker_items = [
+            snapshot["counters"]["parallel.worker.items"]
+            for snapshot in sources.values()
+        ]
+        # Every sample of both steps was processed by exactly one worker.
+        assert sum(per_worker_items) == 16
+        assert all(items > 0 for items in per_worker_items)
+        merged = engine.telemetry_snapshot()
+        assert merged["counters"]["parallel.worker.items"] == 16
+        assert merged["counters"]["parallel.worker.steps"] == 4
+        assert merged["histograms"]["parallel.worker.shard_s"]["count"] == 4
+
+
+@needs_parallel
+class TestRespawnBookkeeping:
+    def test_respawn_counts_and_flight_records(self):
+        reset_default_flight_recorder()
+        respawns = default_registry().counter("parallel.worker.respawns")
+        before = respawns.value
+
+        def _idle_worker(rank, num_workers, pipe, payload):
+            while True:
+                message = pipe.recv()
+                if message[0] == "stop":
+                    return
+                if message[0] == "ping":
+                    pipe.send(("pong", rank))
+
+        with WorkerPool(2, _idle_worker, timeout=30.0) as pool:
+            pool.kill(1)
+            pool.respawn(1)
+            pool.ping(1, timeout=30.0)
+        assert respawns.value == before + 1
+        events = [
+            entry["data"]
+            for entry in default_flight_recorder().snapshot()
+            if entry["kind"] == "event"
+        ]
+        respawn_events = [e for e in events if e["name"] == "worker_respawn"]
+        assert respawn_events and respawn_events[-1]["rank"] == 1
