@@ -5,7 +5,7 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test chaos bench bench-perf bench-parallel bench-serve bench-resilience bench-obs profile clean
+.PHONY: check test chaos bench bench-perf bench-parallel bench-serve bench-resilience bench-obs bench-gateway loadgen-smoke profile clean
 
 check:
 	sh scripts/check.sh
@@ -33,6 +33,12 @@ bench-resilience:
 
 bench-obs:
 	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite obs --out-dir benchmarks/perf
+
+bench-gateway:
+	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite gateway --out-dir benchmarks/perf
+
+loadgen-smoke:
+	PYTHONPATH=$(PYTHONPATH) python -m repro.serve.loadgen --smoke
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q -s --profile

@@ -1,11 +1,11 @@
 """CLI entry point: ``python -m benchmarks.perf [--smoke] [--out-dir D]``.
 
-Runs the inference, training, parallel, serving, resilience, and
-observability suites and writes ``BENCH_infer.json``,
+Runs the inference, training, parallel, serving, resilience,
+observability, and gateway suites and writes ``BENCH_infer.json``,
 ``BENCH_train.json``, ``BENCH_parallel.json``, ``BENCH_serve.json``,
-``BENCH_resilience.json``, and ``BENCH_obs.json`` into ``--out-dir``
-(default: this package's directory, where the committed baselines
-live).
+``BENCH_resilience.json``, ``BENCH_obs.json``, and
+``BENCH_gateway.json`` into ``--out-dir`` (default: this package's
+directory, where the committed baselines live).
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ import argparse
 import os
 import sys
 
+from .bench_gateway import run_gateway_suite
 from .bench_infer import run_infer_suite
 from .bench_obs import run_obs_suite
 from .bench_parallel import run_parallel_suite
@@ -42,7 +43,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["infer", "train", "parallel", "serve", "resilience", "obs", "all"],
+        choices=[
+            "infer", "train", "parallel", "serve", "resilience", "obs",
+            "gateway", "all",
+        ],
         default="all",
         help="which suite(s) to run",
     )
@@ -85,6 +89,19 @@ def main(argv=None) -> int:
             os.path.join(args.out_dir, "BENCH_obs.json"), "obs", cases, smoke=args.smoke
         )
         _report(path, cases)
+    if args.suite in ("gateway", "all"):
+        # Open-loop sweep: its own schema (repro.serve.loadgen), not
+        # the closed-loop case schema — reported by the loadgen CLI.
+        path = os.path.join(args.out_dir, "BENCH_gateway.json")
+        payload = run_gateway_suite(smoke=args.smoke, out_path=path)
+        print(f"wrote {path}")
+        for entry in payload["sweep"]:
+            overall = entry["overall"]
+            print(
+                f"  {entry['name']:28s} offered={entry['offered_qps']:.0f}qps"
+                f"  goodput={overall['goodput_qps']:.0f}qps"
+                f"  shed={100 * overall['shed_rate']:.1f}%"
+            )
     return 0
 
 

@@ -1,0 +1,29 @@
+"""Gateway saturation suite: open-loop sweep → ``BENCH_gateway.json``.
+
+Unlike the closed-loop suites (``bench_serve`` et al., which time fixed
+workloads and fit the shared case schema), the gateway suite measures
+behaviour *under offered load the system cannot fully absorb* — shed
+rate, per-tenant goodput, admitted-request tail latency — so its
+payload is the sweep schema owned by :mod:`repro.serve.loadgen`
+(``BENCH_GATEWAY_SCHEMA_VERSION``), stamped with the same
+``provenance()`` block as every other BENCH file.
+
+Interpretation on the CI container (single CPU): the engine, gateway
+event loop, and load generator share one core, so absolute QPS numbers
+are conservative; the *shape* — zero shed at the calibrated
+sustainable rate, typed shedding and bounded admitted-latency beyond
+it — is the contract being benchmarked.
+"""
+
+from __future__ import annotations
+
+from repro.serve.loadgen import run_sweep, validate_gateway_suite
+
+__all__ = ["run_gateway_suite"]
+
+
+def run_gateway_suite(smoke: bool = False, out_path=None) -> dict:
+    """Run the open-loop sweep; returns (and optionally writes) the payload."""
+    payload = run_sweep(smoke=smoke, out_path=out_path)
+    validate_gateway_suite(payload)
+    return payload

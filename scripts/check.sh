@@ -36,6 +36,15 @@ timeout 300 python -m pytest tests/parallel -q
 echo "== resilience tests =="
 timeout 300 python -m pytest tests/resilience -q
 
+echo "== gateway traffic tests (protocol fuzz + admission + loadgen) =="
+timeout 300 python -m pytest tests/serve -q
+
+echo "== gateway loadgen smoke (open-loop, zero shed at sustainable) =="
+timeout 300 python -m repro.serve.loadgen --smoke
+
+echo "== committed BENCH_gateway.json schema gate =="
+python -m repro.serve.loadgen --validate benchmarks/perf/BENCH_gateway.json
+
 echo "== perf benchmark smoke =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -46,6 +55,7 @@ test -s "$smoke_dir/BENCH_parallel.json"
 test -s "$smoke_dir/BENCH_serve.json"
 test -s "$smoke_dir/BENCH_resilience.json"
 test -s "$smoke_dir/BENCH_obs.json"
+test -s "$smoke_dir/BENCH_gateway.json"
 
 echo "== disarmed-tracing overhead gate (< 1%) =="
 python - "$smoke_dir/BENCH_obs.json" <<'PY'

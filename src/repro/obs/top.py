@@ -61,12 +61,17 @@ def compute_rates(
     misses = _delta(now, before, "serve.cache.misses")
     accepted = _delta(now, before, "serve.accepted_total")
     abstained = _delta(now, before, "serve.abstained_total")
+    gw_requests = _delta(now, before, "gateway.requests_total")
+    gw_rejected = _delta(now, before, "gateway.rejected_total")
     return {
         "qps": requests / dt_s if dt_s > 0 else None,
         "shed_rate": _ratio(shed, requests),
         "hit_rate": _ratio(hits, hits + misses),
         "abstain_rate": _ratio(abstained, accepted + abstained),
         "requests": requests,
+        "gateway_qps": gw_requests / dt_s if dt_s > 0 else None,
+        "gateway_requests": gw_requests,
+        "gateway_reject_rate": _ratio(gw_rejected, gw_requests),
     }
 
 
@@ -109,6 +114,29 @@ def render(
     queue_depth = curr.get("gauges", {}).get("serve.queue_depth")
     if queue_depth is not None:
         lines.append(f"  queue depth  {queue_depth:10.0f}")
+    if rates["gateway_requests"]:
+        counters = curr.get("counters", {})
+        gauges = curr.get("gauges", {})
+        gw_latency = curr.get("histograms", {}).get("gateway.latency_s", {})
+        reasons = " ".join(
+            f"{reason.split('.')[-1]}={counters.get(reason, 0):.0f}"
+            for reason in (
+                "gateway.rejected.queue_full",
+                "gateway.rejected.bucket_exhausted",
+                "gateway.rejected.breaker_open",
+                "gateway.rejected.invalid_input",
+            )
+            if counters.get(reason, 0)
+        )
+        lines.append(
+            f"  gateway      {rates['gateway_qps']:10.1f} qps"
+            f"  reject {_fmt_pct(rates['gateway_reject_rate'])}"
+            f"  p99 ms {_fmt_ms(gw_latency.get('p99'))}"
+            f"  conns {gauges.get('gateway.connections', 0):.0f}"
+            f"  inflight {gauges.get('gateway.inflight', 0):.0f}"
+        )
+        if reasons:
+            lines.append(f"    rejected:  {reasons}")
     breakers = _breaker_states(curr)
     if breakers:
         lines.append("  breakers:")

@@ -15,7 +15,14 @@ stream, Sec. I / Fig. 1).  Four cooperating pieces:
   replicas in worker processes fed through a shared-memory arena;
 * :mod:`~repro.serve.engine` — :class:`ServeEngine`, tying the three
   together with obs metrics, per-batch timer spans, and idle-time
-  scratch reclamation.
+  scratch reclamation;
+* :mod:`~repro.serve.gateway` — :class:`Gateway`, the asyncio traffic
+  front door: length-prefixed JSON-over-TCP
+  (:mod:`~repro.serve.protocol`), per-tenant token-bucket admission
+  (:mod:`~repro.serve.admission`), and typed shed reasons end to end;
+* :mod:`~repro.serve.loadgen` — open-loop traffic generation (seeded
+  Poisson / bursty arrivals, replayable JSONL traces) and the
+  saturation sweep behind ``BENCH_gateway.json``.
 
 >>> from repro.serve import ServeConfig, ServeEngine
 >>> engine = ServeEngine(model, ServeConfig(max_batch_size=32))   # doctest: +SKIP
@@ -26,8 +33,16 @@ stream, Sec. I / Fig. 1).  Four cooperating pieces:
 ``python -m repro.serve.smoke`` is the fast end-to-end check.
 """
 
+from .admission import AdmissionController, ManualClock, TenantPolicy, TokenBucket
 from .backend import InProcessBackend, ReplicaPoolBackend, make_backend, model_infer_fn
-from .batcher import MicroBatcher, Overloaded
+from .batcher import (
+    SHED_BREAKER_OPEN,
+    SHED_BUCKET_EXHAUSTED,
+    SHED_QUEUE_FULL,
+    SHED_REASONS,
+    MicroBatcher,
+    Overloaded,
+)
 from .cache import CachedResult, ResultCache, dihedral_key, exact_key
 from .engine import (
     InvalidInput,
@@ -36,10 +51,21 @@ from .engine import (
     ServeEngine,
     ServeResult,
 )
+from .gateway import (
+    Gateway,
+    GatewayConfig,
+    InProcessGatewayClient,
+    TCPGatewayClient,
+)
+from .protocol import FrameDecoder, FrameTooLarge, ProtocolError
 
 __all__ = [
     "MicroBatcher",
     "Overloaded",
+    "SHED_QUEUE_FULL",
+    "SHED_BUCKET_EXHAUSTED",
+    "SHED_BREAKER_OPEN",
+    "SHED_REASONS",
     "InvalidInput",
     "ResultCache",
     "CachedResult",
@@ -53,4 +79,15 @@ __all__ = [
     "ServeEngine",
     "ServeResult",
     "PendingResult",
+    "Gateway",
+    "GatewayConfig",
+    "InProcessGatewayClient",
+    "TCPGatewayClient",
+    "AdmissionController",
+    "TokenBucket",
+    "TenantPolicy",
+    "ManualClock",
+    "ProtocolError",
+    "FrameTooLarge",
+    "FrameDecoder",
 ]

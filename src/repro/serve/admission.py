@@ -1,0 +1,212 @@
+"""Admission control: per-tenant token buckets with a deterministic clock.
+
+The gateway's first line of backpressure.  Every tenant gets a
+:class:`TokenBucket` refilled at its contracted request rate; a request
+that finds the bucket empty is shed *before* it touches the engine's
+queue, with the machine-readable reason
+:data:`~repro.serve.batcher.SHED_BUCKET_EXHAUSTED`.  Queue overflow
+(the engine's bounded pending queue, or the gateway's in-flight bound)
+remains :data:`~repro.serve.batcher.SHED_QUEUE_FULL` — the two
+triggers stay distinguishable all the way to the wire.
+
+Determinism is a design requirement, not an accident: the clock is
+injectable (:class:`ManualClock` for tests and trace replay) and the
+refill arithmetic is a pure function of ``(capacity, refill_per_s,
+elapsed)`` with no randomness, so replaying the same arrival trace
+through :func:`repro.serve.loadgen.replay_admission` yields
+byte-identical admit/shed decisions — the property wall in
+``tests/serve/test_admission.py`` holds the gateway to it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .batcher import SHED_BUCKET_EXHAUSTED, SHED_QUEUE_FULL
+
+__all__ = [
+    "ManualClock",
+    "TokenBucket",
+    "TenantPolicy",
+    "AdmissionController",
+]
+
+
+class ManualClock:
+    """An injectable clock advanced by hand (tests, trace replay)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("clock cannot run backwards")
+        self.now += dt
+        return self.now
+
+    def set(self, t: float) -> float:
+        if t < self.now:
+            raise ValueError("clock cannot run backwards")
+        self.now = float(t)
+        return self.now
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``refill_per_s`` rate.
+
+    Thread-safe (the gateway runs on one event loop, but the engine's
+    runner threads may consult buckets in other deployments).  Refill
+    is computed lazily on access — there is no timer thread — and is
+    exactly ``min(capacity, tokens + elapsed * refill_per_s)``: never
+    above capacity, never negative, and deterministic given the clock.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+        initial: Optional[float] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if refill_per_s < 0:
+            raise ValueError("refill_per_s must be non-negative")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = self.capacity if initial is None else min(
+            float(initial), self.capacity
+        )
+        if self._tokens < 0:
+            raise ValueError("initial tokens must be non-negative")
+        self._last = float(clock())
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_s
+            )
+        # A clock that stalls (or a ManualClock re-reading the same
+        # instant) must not refill twice; a backwards step is clamped.
+        self._last = max(self._last, now)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` means shed."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (after a lazy refill)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's admission contract.
+
+    ``refill_per_s`` is the sustained request rate the tenant is
+    entitled to; ``burst`` is the bucket capacity — how far above the
+    sustained rate a momentary burst may spike before shedding starts.
+    """
+
+    refill_per_s: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.refill_per_s < 0:
+            raise ValueError("refill_per_s must be non-negative")
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+
+
+class AdmissionController:
+    """Per-tenant token buckets behind one ``admit()`` choke point.
+
+    Buckets are created lazily on first sight of a tenant (default
+    policy, unless ``per_tenant`` names an override) and kept in an
+    LRU-bounded map — an adversary cycling through fresh tenant names
+    cannot grow memory without bound; evicting an idle tenant merely
+    resets its bucket to full on return.
+
+    ``admit`` returns ``None`` for admitted or a shed-reason string
+    (:data:`~repro.serve.batcher.SHED_BUCKET_EXHAUSTED`), mirroring the
+    ``Overloaded.reason`` vocabulary.
+    """
+
+    def __init__(
+        self,
+        default_policy: TenantPolicy,
+        per_tenant: Optional[Dict[str, TenantPolicy]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_tenants: int = 1024,
+    ) -> None:
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self.default_policy = default_policy
+        self.per_tenant = dict(per_tenant or {})
+        self._clock = clock
+        self._max_tenants = int(max_tenants)
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.shed = 0
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self.per_tenant.get(tenant, self.default_policy)
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket, created on first use (LRU-bounded)."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                policy = self.policy(tenant)
+                bucket = TokenBucket(
+                    capacity=policy.burst,
+                    refill_per_s=policy.refill_per_s,
+                    clock=self._clock,
+                )
+                self._buckets[tenant] = bucket
+                while len(self._buckets) > self._max_tenants:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(tenant)
+            return bucket
+
+    def admit(self, tenant: str, tokens: float = 1.0) -> Optional[str]:
+        """``None`` when admitted, else the shed reason."""
+        if self.bucket(tenant).try_acquire(tokens):
+            self.admitted += 1
+            return None
+        self.shed += 1
+        return SHED_BUCKET_EXHAUSTED
+
+    @property
+    def tenants(self) -> list:
+        """Tenants with live buckets, least-recently-used first."""
+        with self._lock:
+            return list(self._buckets)
+
+
+# Re-exported for callers composing reject reasons without importing
+# the batcher module directly.
+QUEUE_FULL = SHED_QUEUE_FULL
+BUCKET_EXHAUSTED = SHED_BUCKET_EXHAUSTED

@@ -27,7 +27,17 @@ import time
 from collections import deque
 from typing import Any, Deque, List, Optional, Tuple
 
-__all__ = ["Overloaded", "MicroBatcher", "FLUSH_SIZE", "FLUSH_DEADLINE", "FLUSH_CLOSE"]
+__all__ = [
+    "Overloaded",
+    "MicroBatcher",
+    "FLUSH_SIZE",
+    "FLUSH_DEADLINE",
+    "FLUSH_CLOSE",
+    "SHED_QUEUE_FULL",
+    "SHED_BUCKET_EXHAUSTED",
+    "SHED_BREAKER_OPEN",
+    "SHED_REASONS",
+]
 
 #: Why a batch flushed: it filled up, its oldest request's deadline
 #: expired, or the batcher was closed and is draining.  Surfaced per
@@ -38,8 +48,35 @@ FLUSH_DEADLINE = "deadline"
 FLUSH_CLOSE = "close"
 
 
+#: Machine-readable shed reasons carried by :class:`Overloaded`.  Every
+#: layer that sheds names its trigger: the batcher's bounded queue, an
+#: admission-control token bucket (gateway), or an open circuit breaker
+#: with no fallback — so shed responses (and tests) can tell *which*
+#: backpressure mechanism fired without parsing message strings.
+SHED_QUEUE_FULL = "queue_full"
+SHED_BUCKET_EXHAUSTED = "bucket_exhausted"
+SHED_BREAKER_OPEN = "breaker_open"
+SHED_REASONS = (SHED_QUEUE_FULL, SHED_BUCKET_EXHAUSTED, SHED_BREAKER_OPEN)
+
+
 class Overloaded(RuntimeError):
-    """The pending queue is full; the request was shed, not enqueued."""
+    """The request was shed, not enqueued (or not served).
+
+    ``reason`` is one of :data:`SHED_REASONS` — a machine-readable
+    shed trigger that survives pickling and maps directly onto the
+    gateway's typed reject responses.
+    """
+
+    def __init__(self, message: str, reason: str = SHED_QUEUE_FULL) -> None:
+        super().__init__(message)
+        if reason not in SHED_REASONS:
+            raise ValueError(f"unknown shed reason {reason!r}")
+        self.reason = reason
+
+    def __reduce__(self):
+        # Default BaseException reduce drops keyword state; keep the
+        # reason across pickling (futures crossing process replies).
+        return (type(self), (self.args[0] if self.args else "", self.reason))
 
 
 class _Item:
@@ -85,7 +122,8 @@ class MicroBatcher:
                 raise RuntimeError("batcher is closed")
             if len(self._pending) >= self.queue_limit:
                 raise Overloaded(
-                    f"pending queue full ({self.queue_limit} requests)"
+                    f"pending queue full ({self.queue_limit} requests)",
+                    reason=SHED_QUEUE_FULL,
                 )
             self._pending.append(_Item(value, time.monotonic()))
             self._cond.notify_all()

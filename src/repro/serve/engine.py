@@ -44,7 +44,7 @@ from ..obs.top import BREAKER_STATE_CODES
 from ..obs.trace import current_tracer
 from ..resilience.breaker import CircuitBreaker
 from .backend import make_backend, model_infer_fn
-from .batcher import MicroBatcher, Overloaded
+from .batcher import SHED_BREAKER_OPEN, MicroBatcher, Overloaded
 from .cache import ResultCache
 
 __all__ = [
@@ -157,20 +157,41 @@ class ServeResult:
 class PendingResult:
     """Write-once future for one submitted request."""
 
-    __slots__ = ("_event", "_result", "_error")
+    __slots__ = ("_event", "_result", "_error", "_callbacks", "_lock")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: Optional[ServeResult] = None
         self._error: Optional[BaseException] = None
+        self._callbacks: List = []
+        self._lock = threading.Lock()
 
     def _set(self, result: ServeResult) -> None:
         self._result = result
-        self._event.set()
+        self._complete()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._complete()
+
+    def _complete(self) -> None:
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(self)`` on completion (immediately if done).
+
+        Callbacks fire on the completing thread (a serve runner lane) —
+        asyncio callers must trampoline via ``call_soon_threadsafe``.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -336,7 +357,7 @@ class ServeEngine:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
-    def submit(self, grid: np.ndarray) -> PendingResult:
+    def submit(self, grid: np.ndarray, parent=None) -> PendingResult:
         """Enqueue one die grid; returns a :class:`PendingResult`.
 
         Cache hits complete immediately.  Raises :class:`Overloaded`
@@ -344,6 +365,13 @@ class ServeEngine:
         :class:`InvalidInput` for grids carrying NaN/Inf cells —
         rejected before hashing, so a poisoned wafer never reaches the
         cache or the model.
+
+        ``parent`` is an optional :class:`~repro.obs.trace.TraceContext`
+        — when the gateway (or any other front door) already opened a
+        request span, the engine's ``serve.request`` span joins that
+        trace instead of rooting a fresh one, so one trace covers
+        socket-read → admission → enqueue → batch → replica-forward →
+        respond.
         """
         if self._closed:
             raise RuntimeError("engine is closed")
@@ -355,7 +383,7 @@ class ServeEngine:
         # costs beyond this probe only runs when a tracer is armed.
         tracer = current_tracer()
         root = (
-            tracer.start_span("serve.request", shape=grid.shape)
+            tracer.start_span("serve.request", parent=parent, shape=grid.shape)
             if tracer is not None else None
         )
 
@@ -626,9 +654,14 @@ class ServeEngine:
                 self._refresh_breaker_gauge(lane)
                 return result
         elif self._fallback_infer is None:
-            raise RuntimeError(
+            # Typed shed: the lane's circuit is open and there is no
+            # model to degrade to.  Overloaded (a RuntimeError) with a
+            # machine-readable reason lets front doors map this onto
+            # the same reject path as queue overflow.
+            raise Overloaded(
                 f"lane {lane} circuit is open and no in-process fallback "
-                "model is available"
+                "model is available",
+                reason=SHED_BREAKER_OPEN,
             )
         self._fallback_total.inc()
         record_flight_event("serve_fallback", lane=lane, batch=len(inputs))

@@ -1,0 +1,250 @@
+"""Length-prefixed JSON wire protocol of the serving gateway.
+
+Framing is a 4-byte big-endian unsigned length prefix followed by that
+many bytes of UTF-8 JSON — trivially parseable from any language, and
+incremental: :class:`FrameDecoder` accepts arbitrary byte chunks and
+yields complete messages, so the gateway's read loop never depends on
+TCP segment boundaries.
+
+Safety properties the fuzz tests pin down:
+
+* a length prefix beyond ``max_frame_bytes`` raises
+  :class:`FrameTooLarge` *before* any body bytes are buffered (a
+  hostile 4 GiB prefix cannot balloon memory);
+* garbage bytes inside a well-framed message raise
+  :class:`ProtocolError`, never anything else — the connection loop
+  maps it to a typed reject and keeps serving;
+* non-finite JSON constants (``NaN``/``Infinity``) are rejected at
+  parse time: a poisoned payload must never reach the cache-key hash
+  or the model (the same contract as ``serve.InvalidInput``).
+
+Message schema (version :data:`PROTOCOL_VERSION`):
+
+* request — ``{"v": 1, "id": <str>, "tenant": <str>, "grid": [[...]]}``
+* response — ``{"v": 1, "id": <str>, "ok": true, "result": {...}}`` or
+  ``{"v": 1, "id": <str>, "ok": false,
+  "error": {"type": ..., "reason": ..., "message": ...}}``
+
+``error.type`` is the serve exception class name (``Overloaded`` /
+``InvalidInput``); for ``Overloaded`` the ``reason`` field carries the
+machine-readable shed trigger (:data:`~repro.serve.batcher.SHED_REASONS`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "ProtocolError",
+    "FrameTooLarge",
+    "encode_frame",
+    "decode_payload",
+    "FrameDecoder",
+    "request_message",
+    "parse_request",
+    "ok_response",
+    "error_response",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Default per-frame byte budget.  A 64x64 float grid serializes well
+#: under 100 KiB; 4 MiB leaves room for batched extensions without
+#: letting one connection hold the gateway's memory hostage.
+DEFAULT_MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+
+class ProtocolError(ValueError):
+    """The peer sent bytes that do not decode to a valid message."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame's length prefix exceeds the configured budget.
+
+    Framing cannot be resynchronized after this (the body was never
+    read), so the connection must be closed after the reject.
+    """
+
+
+def _reject_constant(token: str) -> None:
+    raise ProtocolError(f"non-finite JSON constant {token!r} is not servable")
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one message to its framed wire bytes.
+
+    ``allow_nan=False`` keeps the encoder honest about the same
+    non-finite contract the decoder enforces.
+    """
+    body = json.dumps(
+        payload, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Dict[str, Any]:
+    """Decode one frame body; raises :class:`ProtocolError` on garbage."""
+    try:
+        payload = json.loads(
+            body.decode("utf-8"), parse_constant=_reject_constant
+        )
+    except ProtocolError:
+        raise
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+class FrameDecoder:
+    """Incremental decoder: feed byte chunks, iterate complete messages.
+
+    The decoder is a pure state machine over a byte buffer — no I/O —
+    so fuzz tests can drive it with truncated, oversized, and garbage
+    inputs directly.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be >= 1")
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet consumed by a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def next_message(self) -> Optional[Dict[str, Any]]:
+        """One decoded message, or ``None`` if the buffer holds only a
+        partial frame.  Raises :class:`FrameTooLarge` on a hostile
+        length prefix and :class:`ProtocolError` on an undecodable
+        body (the offending frame is consumed, so the caller may
+        continue with the next one)."""
+        if len(self._buffer) < HEADER_BYTES:
+            return None
+        (length,) = _HEADER.unpack_from(self._buffer)
+        if length > self.max_frame_bytes:
+            raise FrameTooLarge(
+                f"frame of {length} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte budget"
+            )
+        if len(self._buffer) < HEADER_BYTES + length:
+            return None
+        body = bytes(self._buffer[HEADER_BYTES:HEADER_BYTES + length])
+        del self._buffer[:HEADER_BYTES + length]
+        return decode_payload(body)
+
+    def messages(self, data: bytes = b"") -> Iterator[Dict[str, Any]]:
+        """Feed ``data`` and yield every complete message buffered."""
+        self.feed(data)
+        while True:
+            message = self.next_message()
+            if message is None:
+                return
+            yield message
+
+
+# ----------------------------------------------------------------------
+# Message construction / validation
+# ----------------------------------------------------------------------
+def request_message(
+    req_id: str, grid: np.ndarray, tenant: str = "default"
+) -> Dict[str, Any]:
+    """Client-side request payload for one wafer grid."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": str(req_id),
+        "tenant": str(tenant),
+        "grid": np.asarray(grid).tolist(),
+    }
+
+
+def parse_request(payload: Dict[str, Any]) -> Tuple[str, str, np.ndarray]:
+    """Validate a request message; returns ``(req_id, tenant, grid)``.
+
+    Raises :class:`ProtocolError` for every malformed shape — wrong
+    version, missing/ill-typed fields, ragged or non-numeric grids —
+    so the gateway's typed-reject mapping has a single choke point.
+    """
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version!r}")
+    req_id = payload.get("id")
+    if not isinstance(req_id, str) or not req_id:
+        raise ProtocolError("request 'id' must be a non-empty string")
+    tenant = payload.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("request 'tenant' must be a non-empty string")
+    raw_grid = payload.get("grid")
+    if not isinstance(raw_grid, list) or not raw_grid:
+        raise ProtocolError("request 'grid' must be a non-empty 2-D array")
+    try:
+        grid = np.asarray(raw_grid)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"request 'grid' is not a rectangular array: {exc}")
+    if grid.ndim != 2 or grid.size == 0:
+        raise ProtocolError(
+            f"request 'grid' must be a non-empty 2-D array, got shape {grid.shape}"
+        )
+    # Die grids are integer state codes end to end (the engine refuses
+    # anything else); accept JSON floats only when they are exact ints.
+    if grid.dtype.kind == "f":
+        if not np.all(np.isfinite(grid)):
+            raise ProtocolError("request 'grid' contains non-finite cells")
+        if not np.array_equal(grid, np.rint(grid)):
+            raise ProtocolError(
+                "request 'grid' cells must be integer die states"
+            )
+        grid = grid.astype(np.int64)
+    elif grid.dtype.kind not in "iu":
+        raise ProtocolError(
+            f"request 'grid' is not numeric (dtype {grid.dtype})"
+        )
+    return req_id, tenant, grid
+
+
+def ok_response(req_id: str, result) -> Dict[str, Any]:
+    """Success payload from a :class:`~repro.serve.engine.ServeResult`."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": req_id,
+        "ok": True,
+        "result": {
+            "label": int(result.label),
+            "raw_label": int(result.raw_label),
+            "accepted": bool(result.accepted),
+            "selection_score": float(result.selection_score),
+            "confidence": float(result.probabilities[result.raw_label]),
+            "cached": bool(result.cached),
+            "latency_s": float(result.latency_s),
+        },
+    }
+
+
+def error_response(
+    req_id: Optional[str],
+    error_type: str,
+    message: str,
+    reason: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Typed reject payload; ``reason`` names the shed trigger."""
+    error: Dict[str, Any] = {"type": error_type, "message": message}
+    if reason is not None:
+        error["reason"] = reason
+    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": False, "error": error}
