@@ -210,10 +210,12 @@ class Gateway:
         if root is not None and read_started is not None:
             # The frame wait + decode happened before this span tree
             # existed; materialize it backdated, like serve.queue.
+            waited_s = time.perf_counter() - read_started
             read_span = tracer.start_span(
-                "gateway.read", parent=root.context, start_unix=time.time(),
+                "gateway.read", parent=root.context,
+                start_unix=time.time() - waited_s,
             )
-            tracer.end(read_span, duration_s=time.perf_counter() - read_started)
+            tracer.end(read_span, duration_s=waited_s)
 
         try:
             req_id, tenant, grid = parse_request(payload)
@@ -226,13 +228,16 @@ class Gateway:
         if root is not None:
             root.set("tenant", tenant)
 
-        # Admission: token bucket first (cheap, per-tenant isolation),
-        # then the gateway's own in-flight bound.
+        # Admission: the gateway's own in-flight bound first — a
+        # request shed because the *system* is saturated must not
+        # charge the tenant's token bucket — then the per-tenant
+        # bucket for requests the gateway could actually take.
         if root is not None:
             adm_span = tracer.start_span("gateway.admission", parent=root.context)
-        reason = self.admission.admit(tenant)
-        if reason is None and self._inflight >= self.config.max_inflight:
+        if self._inflight >= self.config.max_inflight:
             reason = SHED_QUEUE_FULL
+        else:
+            reason = self.admission.admit(tenant)
         if root is not None:
             adm_span.set("decision", reason or "admit")
             tracer.end(adm_span)

@@ -326,7 +326,9 @@ async def run_open_loop(
             response = await client.request(
                 grids[arrival.grid_id], tenant=arrival.tenant
             )
-        except (ConnectionError, asyncio.TimeoutError):
+        except (ConnectionError, asyncio.TimeoutError, asyncio.CancelledError):
+            # Cancelled means still unanswered when the harness hit its
+            # timeout: tallied like a timeout so sent == arrivals.
             tally.sent += 1
             tally.invalid += 1
             return
@@ -338,7 +340,14 @@ async def run_open_loop(
             await asyncio.sleep(delay)
         tasks.append(asyncio.ensure_future(fire(arrival)))
     if tasks:
-        await asyncio.wait(tasks, timeout=request_timeout_s)
+        _, pending = await asyncio.wait(tasks, timeout=request_timeout_s)
+        # Whatever is still unanswered at the harness timeout gets
+        # cancelled and counted (fire() tallies the cancellation), so
+        # no task outlives the runner into loop shutdown.
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
     wall_s = loop.time() - started
 
     overall = TenantTally()

@@ -179,9 +179,13 @@ class TestAdmissionController:
     @given(seed=st.integers(min_value=0, max_value=2**31))
     @settings(max_examples=25, deadline=None)
     def test_no_starvation_under_adversarial_mix(self, seed):
-        """A tenant flooding at 20x its contract cannot push a polite
-        tenant below its contracted rate: buckets are per-tenant, so
-        the polite tenant's decisions are independent of the flood."""
+        """A tenant flooding at 20x its contract cannot starve a polite
+        one: buckets are per-tenant, so the polite tenant's admit/shed
+        decisions in the mixed trace are **byte-identical** to a replay
+        with no adversary present at all.  (The polite tenant may still
+        shed its *own* Poisson clusters that outrun its bucket — that
+        is its contract at work, not starvation, so we assert exact
+        independence from the flood rather than zero shed.)"""
         duration, polite_rate = 4.0, 10.0
         polite = poisson_trace(
             polite_rate, duration, seed=seed, tenants={"polite": 1.0}
@@ -192,17 +196,30 @@ class TestAdmissionController:
         mixed = sorted(polite + flood, key=lambda a: a.t)
         policy = TenantPolicy(refill_per_s=2 * polite_rate, burst=8.0)
         decisions = replay_admission(mixed, policy)
-        polite_admitted = sum(
-            d for d, a in zip(decisions, mixed) if a.tenant == "polite"
-        )
-        polite_sent = sum(1 for a in mixed if a.tenant == "polite")
-        # Contract headroom is 2x the polite rate: everything the
-        # polite tenant sent must get through, flood or no flood.
-        assert polite_admitted == polite_sent
-        # And isolation is exact, not approximate: the polite tenant's
-        # decisions match a replay with no adversary present at all.
         alone = replay_admission(polite, policy)
         from_mix = bytes(
             d for d, a in zip(decisions, mixed) if a.tenant == "polite"
         )
         assert from_mix == alone
+        # And the flood cannot hog the stage: its admissions are
+        # capped by its own token supply — burst + refill x duration —
+        # no matter how hard it pushes.
+        adversary_admitted = sum(
+            d for d, a in zip(decisions, mixed) if a.tenant == "adversary"
+        )
+        assert adversary_admitted <= policy.burst + policy.refill_per_s * duration + 1
+
+    def test_polite_tenant_fully_admitted_when_bound_provably_holds(self):
+        """Zero shed for the polite tenant is only guaranteed when its
+        bucket provably covers the trace (burst >= arrivals); with that
+        sizing, every polite request gets through a 80x flood."""
+        duration = 4.0
+        polite = poisson_trace(10.0, duration, seed=5, tenants={"polite": 1.0})
+        flood = bursty_trace(800.0, duration, seed=6, tenants={"adversary": 1.0})
+        mixed = sorted(polite + flood, key=lambda a: a.t)
+        policy = TenantPolicy(refill_per_s=20.0, burst=float(len(polite)))
+        decisions = replay_admission(mixed, policy)
+        polite_admitted = sum(
+            d for d, a in zip(decisions, mixed) if a.tenant == "polite"
+        )
+        assert polite_admitted == len(polite)
