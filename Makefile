@@ -5,7 +5,7 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test chaos bench bench-perf bench-parallel bench-serve bench-resilience bench-obs bench-gateway loadgen-smoke profile clean
+.PHONY: check test chaos bench bench-perf bench-compile bench-parallel bench-serve bench-resilience bench-obs bench-gateway loadgen-smoke profile clean
 
 check:
 	sh scripts/check.sh
@@ -21,6 +21,9 @@ bench:
 
 bench-perf:
 	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --out-dir benchmarks/perf
+
+bench-compile:
+	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite compile --out-dir benchmarks/perf
 
 bench-parallel:
 	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite parallel --out-dir benchmarks/perf

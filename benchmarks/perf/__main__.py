@@ -14,6 +14,7 @@ import argparse
 import os
 import sys
 
+from .bench_compile import run_compile_suite
 from .bench_gateway import run_gateway_suite
 from .bench_infer import run_infer_suite
 from .bench_obs import run_obs_suite
@@ -44,8 +45,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--suite",
         choices=[
-            "infer", "train", "parallel", "serve", "resilience", "obs",
-            "gateway", "all",
+            "infer", "compile", "train", "parallel", "serve", "resilience",
+            "obs", "gateway", "all",
         ],
         default="all",
         help="which suite(s) to run",
@@ -56,6 +57,13 @@ def main(argv=None) -> int:
         cases = run_infer_suite(smoke=args.smoke, repeats=args.repeats)
         path = write_suite(
             os.path.join(args.out_dir, "BENCH_infer.json"), "infer", cases, smoke=args.smoke
+        )
+        _report(path, cases)
+    if args.suite in ("compile", "all"):
+        cases = run_compile_suite(smoke=args.smoke, repeats=args.repeats)
+        path = write_suite(
+            os.path.join(args.out_dir, "BENCH_compile.json"),
+            "compile", cases, smoke=args.smoke,
         )
         _report(path, cases)
     if args.suite in ("train", "all"):

@@ -15,6 +15,12 @@ python -m compileall -q src examples benchmarks scripts
 echo "== pytest (tier 1) =="
 python -m pytest -x -q
 
+echo "== compiler smoke (compiled-vs-eager bit identity) =="
+timeout 240 python -m repro.nn.compile.smoke
+
+echo "== compiler tests (parity wall + fallback + planner properties) =="
+timeout 300 python -m pytest tests/compile -q
+
 echo "== parallel training smoke (2 workers) =="
 timeout 240 python -m repro.parallel.smoke
 
@@ -50,12 +56,52 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 python -m benchmarks.perf --smoke --out-dir "$smoke_dir"
 test -s "$smoke_dir/BENCH_infer.json"
+test -s "$smoke_dir/BENCH_compile.json"
 test -s "$smoke_dir/BENCH_train.json"
 test -s "$smoke_dir/BENCH_parallel.json"
 test -s "$smoke_dir/BENCH_serve.json"
 test -s "$smoke_dir/BENCH_resilience.json"
 test -s "$smoke_dir/BENCH_obs.json"
 test -s "$smoke_dir/BENCH_gateway.json"
+
+echo "== committed BENCH_compile.json schema + acceptance gate =="
+python - benchmarks/perf/BENCH_compile.json benchmarks/perf/BENCH_infer.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as handle:
+    suite = json.load(handle)
+with open(sys.argv[2]) as handle:
+    infer = json.load(handle)
+if suite.get("schema") != 1 or suite.get("suite") != "compile":
+    sys.exit("FAIL: BENCH_compile.json is not a schema-1 compile suite")
+if suite.get("smoke"):
+    sys.exit("FAIL: committed BENCH_compile.json must be a full-mode run")
+if not suite.get("provenance"):
+    sys.exit("FAIL: BENCH_compile.json is missing its provenance block")
+cases = {case["name"]: case for case in suite["cases"]}
+for name in ("conv_forward_compiled", "cnn_forward_compiled", "compile_cold"):
+    if name not in cases:
+        sys.exit(f"FAIL: BENCH_compile.json is missing case {name!r}")
+conv = cases["conv_forward_compiled"]["metrics"]["speedup_vs_tape"]
+cnn = cases["cnn_forward_compiled"]["metrics"]["speedup_vs_tape"]
+vs_fused = cases["cnn_forward_compiled"]["metrics"]["speedup_vs_fused"]
+infer_cases = {case["name"]: case for case in infer["cases"]}
+eager_conv = infer_cases["conv_forward_inference"]["metrics"]["speedup_median"]
+# The CNN gate compares compiled against the fused baseline *measured
+# back-to-back in the same artifact* (speedup_vs_fused): cross-file
+# ratios swing with machine load, same-run ratios do not.
+print(f"compiled conv vs tape: {conv:.2f}x (gate: >= 1.0)")
+print(f"eager fused conv vs tape: {eager_conv:.2f}x (gate: >= 1.0)")
+print(f"compiled CNN vs tape: {cnn:.2f}x (gate: >= 2.0)")
+print(f"compiled CNN vs same-run fused baseline: {vs_fused:.2f}x (gate: >= 0.95)")
+if conv < 1.0:
+    sys.exit("FAIL: compiled single-conv loses to the tape path")
+if eager_conv < 1.0:
+    sys.exit("FAIL: eager conv inference regression is back (< 1.0x vs tape)")
+if cnn < 2.0:
+    sys.exit("FAIL: compiled CNN lost the fused-class speedup (< 2x vs tape)")
+if vs_fused < 0.95:
+    sys.exit("FAIL: compiled CNN is slower than the same-run fused baseline")
+PY
 
 echo "== disarmed-tracing overhead gate (< 1%) =="
 python - "$smoke_dir/BENCH_obs.json" <<'PY'

@@ -14,6 +14,12 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
+from ..nn.compile import (
+    GraphBuilder,
+    compiled_for,
+    register_graph_factory,
+    trace_call,
+)
 
 __all__ = ["BackboneConfig", "build_backbone", "WaferCNN", "TABLE_I_SPEC"]
 
@@ -128,9 +134,18 @@ class WaferCNN(nn.Module):
         with nn.inference_mode():
             was_training = self.training
             self.eval()
+            compiled = compiled_for(self)
             for start in range(0, count, batch_size):
                 stop = min(start + batch_size, count)
-                logits = self.forward(nn.Tensor(inputs[start:stop]))
+                chunk = inputs[start:stop]
+                # Compiled and eager paths are bit-identical (pinned by
+                # tests/compile/), so which one serves a chunk is purely
+                # a performance decision.
+                outputs = compiled.try_run(chunk)
+                if outputs is not None:
+                    probabilities[start:stop] = outputs[0]
+                    continue
+                logits = self.forward(nn.Tensor(chunk))
                 probabilities[start:stop] = logits.softmax(axis=-1).data
             self.train(was_training)
         return probabilities
@@ -138,3 +153,24 @@ class WaferCNN(nn.Module):
     def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Hard class predictions for a ``(N, 1, H, W)`` array."""
         return self.predict_proba(inputs, batch_size=batch_size).argmax(axis=1)
+
+
+@register_graph_factory(WaferCNN)
+def _wafer_cnn_graph(model: WaferCNN, input_shape, dtype):
+    """Lazy graph of one :meth:`WaferCNN.predict_proba` chunk:
+    backbone → head → softmax, single ``probabilities`` output."""
+    builder = GraphBuilder()
+    x = builder.add_input(input_shape, dtype)
+    features = trace_call(model.backbone, builder, x)
+    logits = trace_call(model.head, builder, features)
+    logits_op = builder.graph.op(logits)
+    probabilities = builder.add_op(
+        "softmax",
+        (logits,),
+        logits_op.shape,
+        logits_op.dtype,
+        params={"axis": -1},
+        source="predict_proba.softmax",
+    )
+    builder.mark_output(probabilities)
+    return builder.graph

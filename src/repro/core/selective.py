@@ -15,6 +15,12 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from .. import nn
+from ..nn.compile import (
+    GraphBuilder,
+    compiled_for,
+    register_graph_factory,
+    trace_call,
+)
 from .cnn import BackboneConfig, build_backbone
 
 __all__ = ["SelectiveNet", "SelectivePrediction", "ABSTAIN"]
@@ -155,9 +161,19 @@ class SelectiveNet(nn.Module):
         with nn.inference_mode():
             was_training = self.training
             self.eval()
+            compiled = compiled_for(self)
             for start in range(0, count, batch_size):
                 stop = min(start + batch_size, count)
-                features = self.backbone(nn.Tensor(inputs[start:stop]))
+                chunk = inputs[start:stop]
+                # Bit-identical to the eager path below (pinned by
+                # tests/compile/), so served decisions do not depend on
+                # whether a chunk was compiled.
+                outputs = compiled.try_run(chunk)
+                if outputs is not None:
+                    probabilities[start:stop] = outputs[0]
+                    scores[start:stop] = outputs[1]
+                    continue
+                features = self.backbone(nn.Tensor(chunk))
                 logits = self.prediction_head(features)
                 selection_logit = self.selection_head(features).reshape(-1)
                 probabilities[start:stop] = logits.softmax(axis=-1).data
@@ -188,3 +204,38 @@ class SelectiveNet(nn.Module):
             accepted=accepted,
             probabilities=probabilities,
         )
+
+
+@register_graph_factory(SelectiveNet)
+def _selective_net_graph(model: SelectiveNet, input_shape, dtype):
+    """Lazy graph of one :meth:`SelectiveNet.predict_batched` chunk.
+
+    Two outputs, in ``predict_batched`` order: softmax class
+    probabilities and the flattened pre-sigmoid selection logits.  The
+    shared feature vector is computed once and feeds both heads.
+    """
+    builder = GraphBuilder()
+    x = builder.add_input(input_shape, dtype)
+    features = trace_call(model.backbone, builder, x)
+    logits = trace_call(model.prediction_head, builder, features)
+    logits_op = builder.graph.op(logits)
+    probabilities = builder.add_op(
+        "softmax",
+        (logits,),
+        logits_op.shape,
+        logits_op.dtype,
+        params={"axis": -1},
+        source="predict_batched.softmax",
+    )
+    selection = trace_call(model.selection_head, builder, features)
+    selection_op = builder.graph.op(selection)
+    scores = builder.add_op(
+        "reshape",
+        (selection,),
+        (selection_op.shape[0],),
+        selection_op.dtype,
+        source="predict_batched.scores",
+    )
+    builder.mark_output(probabilities)
+    builder.mark_output(scores)
+    return builder.graph

@@ -21,6 +21,7 @@ Quick tour
 """
 
 from . import functional, init, losses, optim
+from . import compile  # noqa: A004 - nn.compile(model) is the entry point
 from .layers import (
     AvgPool2D,
     BatchNorm1D,
@@ -71,6 +72,7 @@ __all__ = [
     "set_default_dtype",
     "stack",
     "concatenate",
+    "compile",
     "functional",
     "init",
     "losses",

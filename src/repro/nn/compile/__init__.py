@@ -1,0 +1,93 @@
+"""``repro.nn.compile`` — a lazy-graph compiler over the numpy backend.
+
+The pipeline::
+
+    model ──trace──▶ Graph (LazyOp IR)
+          ──fuse───▶ FusedProgram (GEMM+elementwise[+pool] kernels)
+          ──plan───▶ ArenaPlan (liveness-packed buffer offsets)
+          ──lower──▶ CompiledGraph (backend closures over one arena)
+
+Entry points:
+
+* ``nn.compile(model)`` — the module itself is callable; returns a
+  :class:`CompiledModule` whose runs are bit-identical to eager
+  ``inference_mode`` and which falls back to eager for anything the
+  compiler does not cover;
+* :func:`compiled_for` — process-local cached wrapper, used by the
+  model predict paths and the serving engine;
+* :func:`register_tracer` / :func:`register_graph_factory` /
+  :func:`register_backend` — the three extension seams (new layers,
+  new whole-model graphs, new execution backends).
+
+Smoke check: ``python -m repro.nn.compile.smoke``.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+
+from .api import (
+    CompiledModule,
+    compile_module,
+    compiled_for,
+    eager_only,
+    is_enabled,
+    register_graph_factory,
+    release_compiled,
+    set_enabled,
+)
+from .backend import (
+    Backend,
+    NumpyBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from .executor import CompiledGraph
+from .fuse import FusedProgram, Kernel, fuse_graph
+from .ir import Graph, GraphBuilder, LazyOp, UnsupportedOpError
+from .plan import ArenaPlan, Slot, plan_buffers
+from .trace import register_tracer, trace_call, trace_module
+
+__all__ = [
+    "CompiledModule",
+    "compile_module",
+    "compiled_for",
+    "eager_only",
+    "is_enabled",
+    "set_enabled",
+    "release_compiled",
+    "register_graph_factory",
+    "register_tracer",
+    "trace_call",
+    "trace_module",
+    "Graph",
+    "GraphBuilder",
+    "LazyOp",
+    "UnsupportedOpError",
+    "FusedProgram",
+    "Kernel",
+    "fuse_graph",
+    "ArenaPlan",
+    "Slot",
+    "plan_buffers",
+    "Backend",
+    "NumpyBackend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "CompiledGraph",
+]
+
+
+class _CallableModule(types.ModuleType):
+    """Makes ``nn.compile(model)`` work while keeping this a real module
+    (so ``python -m repro.nn.compile.smoke`` and submodule imports still
+    resolve normally)."""
+
+    def __call__(self, model, backend: str = "numpy") -> CompiledModule:
+        return compile_module(model, backend=backend)
+
+
+sys.modules[__name__].__class__ = _CallableModule

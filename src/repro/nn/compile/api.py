@@ -1,0 +1,295 @@
+"""Compile entry points: :func:`compile_module` and :class:`CompiledModule`.
+
+The contract, end to end:
+
+* ``nn.compile(model)`` returns a :class:`CompiledModule` wrapping the
+  live model — parameters are *bound by reference* (re-read every run),
+  so optimizer steps and ``load_state_dict`` are picked up without
+  recompiling.
+* Compiled outputs are **bit-identical** to the eager
+  :class:`~repro.nn.tensor.inference_mode` outputs for the same inputs
+  (pinned by the parity test wall).
+* Anything the compiler does not cover — unknown layer types, layer
+  subclasses, training-mode dropout/batch-norm, hooked modules — makes
+  :meth:`CompiledModule.try_run` return ``None`` and bumps the
+  ``compile.fallbacks`` counter; it never raises at the call site.
+  Callers keep their eager path as the fallback arm.
+
+Graphs are compiled per ``(input shape, dtype)`` and cached on the
+:class:`CompiledModule`; model classes outside :mod:`repro.nn` (e.g.
+:class:`repro.core.selective.SelectiveNet`) plug in whole-model graphs
+via :func:`register_graph_factory`.
+
+Telemetry (``repro.obs`` default registry):
+
+* ``compile.graphs`` — graphs compiled (counter);
+* ``compile.cache_hits`` / ``compile.cache_misses`` — per-run lookups
+  against the per-model ``(shape, dtype)`` graph cache;
+* ``compile.fallbacks`` — runs that fell back to eager;
+* ``compile.kernels_fused`` — ops absorbed into other kernels;
+* ``compile.arena_bytes`` — bytes planned across live compiled graphs
+  (gauge).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..layers.base import Module
+from ..tensor import _as_array
+from .backend import get_backend
+from .executor import CompiledGraph
+from .fuse import fuse_graph
+from .ir import Graph, UnsupportedOpError
+from .plan import plan_buffers
+from .trace import trace_module
+
+__all__ = [
+    "CompiledModule",
+    "compile_module",
+    "compiled_for",
+    "register_graph_factory",
+    "set_enabled",
+    "is_enabled",
+    "eager_only",
+    "release_compiled",
+]
+
+
+_default_registry = None
+
+
+def _metrics():
+    # Imported lazily: repro.obs pulls in profiling helpers that import
+    # repro.nn, so a module-level import here would be circular.  Only
+    # the function is cached — the registry itself may be reset between
+    # tests, so it is re-resolved per call.
+    global _default_registry
+    if _default_registry is None:
+        from ...obs.metrics import default_registry
+
+        _default_registry = default_registry
+    return _default_registry()
+
+
+# ----------------------------------------------------------------------
+# Global opt-in/out switch
+# ----------------------------------------------------------------------
+class _State:
+    enabled = True
+    lock = threading.Lock()
+
+
+def set_enabled(flag: bool) -> bool:
+    """Globally enable/disable the compiled path; returns the old value."""
+    with _State.lock:
+        previous = _State.enabled
+        _State.enabled = bool(flag)
+    return previous
+
+
+def is_enabled() -> bool:
+    return _State.enabled
+
+
+@contextmanager
+def eager_only():
+    """Scope in which every ``try_run`` falls back to eager (tests/benches)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Whole-model graph factories
+# ----------------------------------------------------------------------
+#: ``factory(model, input_shape, dtype) -> Graph`` keyed by exact type.
+GraphFactory = Callable[[object, Tuple[int, ...], np.dtype], Graph]
+
+_GRAPH_FACTORIES: Dict[type, GraphFactory] = {}
+
+
+def register_graph_factory(model_type: type):
+    """Register a whole-model graph builder for an exact model type.
+
+    Used by model classes whose inference output is not simply
+    ``forward(x)`` — e.g. SelectiveNet's two-headed
+    ``(probabilities, selection_scores)``.
+    """
+
+    def decorator(factory: GraphFactory) -> GraphFactory:
+        _GRAPH_FACTORIES[model_type] = factory
+        return factory
+
+    return decorator
+
+
+def _build_graph(model, input_shape: Tuple[int, ...], dtype) -> Graph:
+    factory = _GRAPH_FACTORIES.get(type(model))
+    if factory is not None:
+        return factory(model, input_shape, dtype)
+    if isinstance(model, Module):
+        # Structural trace of forward; exact-type dispatch inside raises
+        # UnsupportedOpError for anything unknown (including subclasses).
+        return trace_module(model, input_shape, dtype)
+    raise UnsupportedOpError(f"cannot trace {type(model).__name__}")
+
+
+# ----------------------------------------------------------------------
+# CompiledModule
+# ----------------------------------------------------------------------
+class CompiledModule:
+    """Lazy-compiling wrapper around one live model.
+
+    Not serialized: pickling (e.g. shipping a model to a serve worker)
+    moves only the model; each process compiles its own graphs on first
+    use, which keeps compiled state process-local by construction.
+    """
+
+    def __init__(self, model, backend: str = "numpy") -> None:
+        self.model = model
+        self.backend_name = backend
+        self._graphs: Dict[Tuple, CompiledGraph] = {}
+        self._unsupported: set = set()
+        self._lock = threading.Lock()
+
+    # -- compilation ----------------------------------------------------
+    def _key(self, x: np.ndarray) -> Tuple:
+        return (tuple(x.shape), x.dtype.str, self.backend_name)
+
+    def _compile(self, x: np.ndarray) -> CompiledGraph:
+        graph = _build_graph(self.model, tuple(x.shape), x.dtype)
+        program = fuse_graph(graph)
+        backend = get_backend(self.backend_name)
+        plan = plan_buffers(program, backend)
+        compiled = CompiledGraph(program, plan, backend)
+        registry = _metrics()
+        registry.counter("compile.graphs").inc()
+        registry.counter("compile.kernels_fused").inc(compiled.ops_fused)
+        registry.gauge("compile.arena_bytes").add(compiled.arena_nbytes)
+        return compiled
+
+    # -- execution ------------------------------------------------------
+    def try_run(self, x: np.ndarray) -> Optional[Tuple[np.ndarray, ...]]:
+        """Run compiled if possible; ``None`` means "use your eager path".
+
+        ``x`` is coerced exactly like ``Tensor(x)`` would coerce it, so
+        the compiled run sees the same array the eager fallback would.
+        """
+        if not _State.enabled:
+            return None
+        model = self.model
+        if getattr(model, "training", False):
+            # Training-mode layers (dropout, batch-norm) are stochastic
+            # or stateful; inference compilation covers eval mode only.
+            _metrics().counter("compile.fallbacks").inc()
+            return None
+        x = _as_array(x)
+        key = self._key(x)
+        # Steady-state fast path: dict reads are atomic under the GIL,
+        # so cache hits skip the lock entirely.
+        compiled = self._graphs.get(key)
+        if compiled is not None:
+            _metrics().counter("compile.cache_hits").inc()
+            return compiled.run(x)
+        with self._lock:
+            if key in self._unsupported:
+                compiled = None
+            else:
+                compiled = self._graphs.get(key)
+                if compiled is None:
+                    _metrics().counter("compile.cache_misses").inc()
+                    try:
+                        compiled = self._compile(x)
+                    except UnsupportedOpError:
+                        self._unsupported.add(key)
+                        compiled = None
+                    else:
+                        self._graphs[key] = compiled
+                else:
+                    _metrics().counter("compile.cache_hits").inc()
+        if compiled is None:
+            _metrics().counter("compile.fallbacks").inc()
+            return None
+        return compiled.run(x)
+
+    def __call__(self, x) -> Tuple[np.ndarray, ...]:
+        """Run the model's compiled inference function on ``x``.
+
+        Falls back to eager ``model(x)`` (under no tape) when the model
+        is not compilable; either way the result is the tuple of plain
+        output arrays the traced graph defines (for a plain ``Module``,
+        the forward output).
+        """
+        data = x.data if hasattr(x, "data") else _as_array(x)
+        outputs = self.try_run(data)
+        if outputs is not None:
+            return outputs
+        from ..tensor import Tensor, inference_mode
+
+        with inference_mode():
+            result = self.model(Tensor(data))
+        if isinstance(result, tuple):
+            return tuple(t.data for t in result)
+        return (result.data,)
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def graphs(self) -> Dict[Tuple, CompiledGraph]:
+        return dict(self._graphs)
+
+    def release(self) -> int:
+        """Release every compiled arena; returns total bytes freed."""
+        freed = 0
+        with self._lock:
+            for compiled in self._graphs.values():
+                nbytes = compiled.release()
+                freed += nbytes
+                if nbytes:
+                    _metrics().gauge("compile.arena_bytes").add(-nbytes)
+        return freed
+
+    def __getstate__(self):  # pragma: no cover - guard, not a feature
+        raise TypeError(
+            "CompiledModule is process-local and not picklable; "
+            "pickle the underlying model instead"
+        )
+
+
+def compile_module(model, backend: str = "numpy") -> CompiledModule:
+    """Compile ``model`` for repeated inference (the ``nn.compile`` call)."""
+    return CompiledModule(model, backend=backend)
+
+
+#: Per-model compiled wrappers, created on demand by the predict paths.
+#: Weakly keyed so dropping a model drops its compiled graphs; never
+#: pickled (each process builds its own).
+_MODULE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_MODULE_CACHE_LOCK = threading.Lock()
+
+
+def compiled_for(model, backend: str = "numpy") -> CompiledModule:
+    """The process-local :class:`CompiledModule` for ``model``."""
+    with _MODULE_CACHE_LOCK:
+        compiled = _MODULE_CACHE.get(model)
+        if compiled is None or compiled.backend_name != backend:
+            compiled = CompiledModule(model, backend=backend)
+            _MODULE_CACHE[model] = compiled
+        return compiled
+
+
+def release_compiled() -> int:
+    """Release every cached compiled arena (serve reclaim hook)."""
+    freed = 0
+    with _MODULE_CACHE_LOCK:
+        modules = list(_MODULE_CACHE.values())
+    for compiled in modules:
+        freed += compiled.release()
+    return freed

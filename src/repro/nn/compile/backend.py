@@ -1,0 +1,490 @@
+"""Pluggable execution backends for compiled graphs.
+
+A backend answers two questions per fused kernel:
+
+* :meth:`Backend.scratch_requests` — how many bytes of kernel-private
+  scratch it wants (the planner carves these out of the shared arena
+  with kernel-only lifetimes);
+* :meth:`Backend.lower` — a Python closure executing the kernel against
+  the run environment.
+
+Backends register by name in a process-wide table
+(:func:`register_backend` / :func:`get_backend`), so a threaded or
+BLAS-batched implementation is a registration, not a rewrite of the
+compiler: trace, fusion, and planning are backend-agnostic.
+
+The stock :class:`NumpyBackend` mirrors the eager inference fast paths
+*operation for operation* — same gather maps, same GEMM call shapes,
+same in-place bias/activation sequence, same NHWC pooling reduction —
+so compiled outputs are bit-identical to eager ``inference_mode``
+outputs (pinned by ``tests/compile/test_compile_parity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .. import functional as F
+from .fuse import FusedProgram, Kernel
+from .ir import LazyOp, UnsupportedOpError
+
+__all__ = ["Backend", "NumpyBackend", "register_backend", "get_backend", "backend_names"]
+
+#: ``getter(env) -> ndarray`` — resolves one graph value for this run.
+Getter = Callable[[dict], np.ndarray]
+
+
+class Backend:
+    """Interface a compiled-graph execution backend implements."""
+
+    name = "abstract"
+
+    def scratch_requests(
+        self, kernel: Kernel, program: FusedProgram
+    ) -> List[Tuple[str, int]]:
+        """``(tag, nbytes)`` scratch wanted while ``kernel`` runs."""
+        raise NotImplementedError
+
+    def hosts_output(self, kernel: Kernel, program: FusedProgram) -> bool:
+        """True if the lowering publishes ``env[kernel.output]`` itself.
+
+        Hosted outputs get no planned arena slot: the kernel hands a
+        freshly-owned array (often a zero-copy layout view) to its
+        consumers through the run environment instead of filling a
+        preallocated buffer.  This is how a conv kernel avoids the
+        NHWC→NCHW materialization copy the eager fast path never pays.
+        """
+        return False
+
+    def lower(
+        self,
+        kernel: Kernel,
+        program: FusedProgram,
+        get: Callable[[int], Getter],
+        out: Getter,
+        scratch: Dict[str, np.ndarray],
+    ) -> Callable[[dict], None]:
+        """Return a closure that executes ``kernel`` for one run.
+
+        ``out(env)`` yields the kernel's output buffer: an arena view
+        for planned intermediates, allocated-on-first-use (and
+        published into ``env``) for graph outputs.  Kernels for which
+        :meth:`hosts_output` is true ignore ``out`` and assign
+        ``env[kernel.output]`` themselves.
+        """
+        raise NotImplementedError
+
+
+_BACKENDS: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register ``backend`` under ``backend.name`` (latest wins)."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def backend_names() -> List[str]:
+    return sorted(_BACKENDS)
+
+
+def _itemsize(op: LazyOp) -> int:
+    return int(np.dtype(op.dtype).itemsize)
+
+
+def _numel(op: LazyOp) -> int:
+    return int(np.prod(op.shape, dtype=np.int64))
+
+
+def _is_conv_kernel(kernel: Kernel) -> bool:
+    return kernel.kind == "gemm" and kernel.ops[0].kind == "conv2d"
+
+
+class NumpyBackend(Backend):
+    """Reference interpreter: the eager numpy fast paths, arena-hosted.
+
+    Every lowering below replays the exact numpy call sequence of the
+    corresponding eager inference path, because bit-identical parity is
+    part of the compiled path's contract.  Change one only together
+    with its eager twin (and the parity wall will tell you if you
+    forget).
+    """
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Scratch sizing
+    # ------------------------------------------------------------------
+    def scratch_requests(
+        self, kernel: Kernel, program: FusedProgram
+    ) -> List[Tuple[str, int]]:
+        root = kernel.ops[0]
+        if root.kind != "conv2d":
+            return []
+        n, c_in, h, w = self._conv_input_shape(kernel, root)
+        kh, kw = self._conv_kernel_hw(root)
+        ph, pw = root.params["padding"]
+        item = _itemsize(root)
+        requests: List[Tuple[str, int]] = []
+        if ph or pw:
+            requests.append(
+                ("padded", n * c_in * (h + 2 * ph) * (w + 2 * pw) * item)
+            )
+        out_hw = root.shape[2] * root.shape[3]
+        requests.append(("cols", n * out_hw * c_in * kh * kw * item))
+        if kernel.pool:
+            # Pooled convs GEMM into arena scratch (the pooling max
+            # allocates the small surviving array).  Unpooled convs
+            # GEMM into a fresh per-run buffer whose transposed view
+            # *is* the published output — mirroring the eager fast
+            # path's allocation behaviour exactly — so they want no
+            # arena-hosted GEMM scratch.
+            requests.append(("gemm", n * out_hw * root.shape[1] * item))
+        return requests
+
+    def hosts_output(self, kernel: Kernel, program: FusedProgram) -> bool:
+        # Conv kernels publish NHWC-strided views of freshly-owned
+        # arrays (see _lower_conv) rather than materializing NCHW.
+        return _is_conv_kernel(kernel)
+
+    @staticmethod
+    def _conv_input_shape(kernel: Kernel, root: LazyOp) -> Tuple[int, ...]:
+        n = root.shape[0]
+        # Recover (C_in, H, W) from the weight leaf + output geometry.
+        return (n,) + root.params["input_chw"]
+
+    @staticmethod
+    def _conv_kernel_hw(root: LazyOp) -> Tuple[int, int]:
+        return root.params["kernel"]
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def lower(
+        self,
+        kernel: Kernel,
+        program: FusedProgram,
+        get: Callable[[int], Getter],
+        out: Getter,
+        scratch: Dict[str, np.ndarray],
+    ) -> Callable[[dict], None]:
+        root = kernel.ops[0]
+        if kernel.kind == "gemm" and root.kind == "conv2d":
+            return self._lower_conv(kernel, program, get, out, scratch)
+        if kernel.kind == "gemm" and root.kind == "matmul":
+            return self._lower_matmul(kernel, get, out)
+        if kernel.kind == "elementwise":
+            return self._lower_elementwise_chain(kernel, get, out)
+        single = {
+            "maxpool": self._lower_maxpool,
+            "avgpool": self._lower_avgpool,
+            "upsample": self._lower_upsample,
+            "softmax": self._lower_softmax,
+            "log_softmax": self._lower_log_softmax,
+        }.get(root.kind)
+        if single is None:
+            raise UnsupportedOpError(f"numpy backend cannot lower {root.kind!r}")
+        return single(root, get(root.inputs[0]), out)
+
+    # -- GEMM-rooted kernels -------------------------------------------
+    def _lower_conv(
+        self,
+        kernel: Kernel,
+        program: FusedProgram,
+        get: Callable[[int], Getter],
+        out: Getter,
+        scratch: Dict[str, np.ndarray],
+    ) -> Callable[[dict], None]:
+        root = kernel.ops[0]
+        n, c_in, h, w = self._conv_input_shape(kernel, root)
+        kh, kw = self._conv_kernel_hw(root)
+        stride = root.params["stride"]
+        ph, pw = root.params["padding"]
+        c_out, out_h, out_w = root.shape[1], root.shape[2], root.shape[3]
+        rows, features = n * out_h * out_w, c_in * kh * kw
+        index = F._im2col_index(c_in, h, w, (kh, kw), stride, (ph, pw))
+        get_x = get(root.inputs[0])
+        get_w = get(root.inputs[1])
+        chain = self._chain_appliers(kernel.ops[1:], get, channels_last=True)
+        dt = np.dtype(root.dtype)
+        padded = scratch.get("padded")
+        if padded is not None:
+            padded = padded.view(dt).reshape(n, c_in, h + 2 * ph, w + 2 * pw)
+        cols3 = scratch["cols"].view(dt).reshape((n,) + index.shape)
+        pool_hw = kernel.pool[0].params["kernel"] if kernel.pool else None
+        out_id = kernel.output
+        gemm = None
+        if "gemm" in scratch:
+            gemm = scratch["gemm"].view(dt).reshape(rows, c_out)
+
+        # The output is *published*, not copied out (hosts_output):
+        # pooled convs hand over the pooling reduction's fresh array,
+        # unpooled convs a transposed view of a fresh GEMM buffer —
+        # the exact objects (and allocations) of the eager fast path,
+        # with no NCHW materialization copy in either case.
+        def run(env: dict) -> None:
+            x = get_x(env)
+            if padded is not None:
+                padded.fill(0)
+                padded[:, :, ph:ph + h, pw:pw + w] = x
+                flat = padded.reshape(n, -1)
+            else:
+                flat = x.reshape(n, -1)
+            np.take(flat, index, axis=1, mode="clip", out=cols3)
+            cols = cols3.reshape(rows, features)
+            weight = get_w(env)
+            buf = gemm if gemm is not None else np.empty((rows, c_out), dtype=dt)
+            np.matmul(cols, weight.reshape(c_out, -1).T, out=buf)
+            for apply in chain:
+                apply(buf, env)
+            if pool_hw is not None:
+                qh, qw = pool_hw
+                nhwc = buf.reshape(n, out_h // qh, qh, out_w // qw, qw, c_out)
+                env[out_id] = nhwc.max(axis=(2, 4)).transpose(0, 3, 1, 2)
+            else:
+                env[out_id] = buf.reshape(n, out_h, out_w, c_out).transpose(
+                    0, 3, 1, 2
+                )
+
+        return run
+
+    def _lower_matmul(
+        self, kernel: Kernel, get: Callable[[int], Getter], out: Getter
+    ) -> Callable[[dict], None]:
+        get_x = get(kernel.ops[0].inputs[0])
+        get_w = get(kernel.ops[0].inputs[1])
+        chain = self._chain_appliers(kernel.ops[1:], get, channels_last=True)
+
+        def run(env: dict) -> None:
+            target = out(env)
+            np.matmul(get_x(env), get_w(env), out=target)
+            for apply in chain:
+                apply(target, env)
+
+        return run
+
+    # -- Elementwise ----------------------------------------------------
+    def _chain_appliers(
+        self,
+        ops: Tuple[LazyOp, ...],
+        get: Callable[[int], Getter],
+        channels_last: bool,
+    ) -> List[Callable[[np.ndarray, dict], None]]:
+        """In-place appliers for a fused elementwise chain.
+
+        ``channels_last`` marks the GEMM-rows layout ``(rows, C)``: the
+        channel axis is last regardless of the op's recorded NCHW
+        geometry, so per-channel operands broadcast without reshaping.
+        Each applier performs the same scalar operations as its eager
+        twin, so the result is bit-identical even though the loop order
+        over elements differs from NCHW.
+        """
+        appliers: List[Callable[[np.ndarray, dict], None]] = []
+        for op in ops:
+            appliers.append(self._applier(op, get, channels_last))
+        return appliers
+
+    def _applier(
+        self, op: LazyOp, get: Callable[[int], Getter], channels_last: bool
+    ) -> Callable[[np.ndarray, dict], None]:
+        kind = op.kind
+
+        def shape_operand(getter: Getter, broadcast) -> Getter:
+            if channels_last or broadcast is None:
+                return getter
+            return lambda env: getter(env).reshape(broadcast)
+
+        if kind == "bias_add":
+            axis = op.params.get("channel_axis", -1)
+            broadcast = None
+            if axis in (1, -3) and len(op.shape) == 4:
+                broadcast = (1, op.shape[1], 1, 1)
+            get_b = shape_operand(get(op.inputs[1]), broadcast)
+
+            def apply(buf: np.ndarray, env: dict) -> None:
+                buf += get_b(env)
+
+            return apply
+        if kind == "relu":
+            return lambda buf, env: np.maximum(buf, 0, out=buf)
+        if kind == "leaky_relu":
+            slope = op.params["negative_slope"]
+
+            def apply(buf: np.ndarray, env: dict) -> None:
+                scale = np.where(buf > 0, 1.0, slope).astype(buf.dtype)
+                buf *= scale
+
+            return apply
+        if kind == "sigmoid":
+            def apply(buf: np.ndarray, env: dict) -> None:
+                np.copyto(buf, _sigmoid(buf))
+
+            return apply
+        if kind == "tanh":
+            return lambda buf, env: np.tanh(buf, out=buf)
+        if kind == "affine":
+            broadcast = op.params.get("broadcast")
+            get_s = shape_operand(get(op.inputs[1]), broadcast)
+            get_t = shape_operand(get(op.inputs[2]), broadcast)
+
+            def apply(buf: np.ndarray, env: dict) -> None:
+                buf *= get_s(env)
+                buf += get_t(env)
+
+            return apply
+        raise UnsupportedOpError(f"numpy backend cannot fuse {kind!r}")
+
+    def _lower_elementwise_chain(
+        self, kernel: Kernel, get: Callable[[int], Getter], out: Getter
+    ) -> Callable[[dict], None]:
+        get_x = get(kernel.ops[0].inputs[0])
+        first = self._first_applier(kernel.ops[0], get)
+        rest = self._chain_appliers(kernel.ops[1:], get, channels_last=False)
+
+        def run(env: dict) -> None:
+            target = out(env)
+            first(get_x(env), target, env)
+            for apply in rest:
+                apply(target, env)
+
+        return run
+
+    def _first_applier(
+        self, op: LazyOp, get: Callable[[int], Getter]
+    ) -> Callable[[np.ndarray, np.ndarray, dict], None]:
+        """``(x, out, env)`` form of an elementwise op: reads x, fills out."""
+        kind = op.kind
+        if kind == "relu":
+            return lambda x, target, env: np.maximum(x, 0, out=target)
+        if kind == "tanh":
+            return lambda x, target, env: np.tanh(x, out=target)
+        if kind == "sigmoid":
+            return lambda x, target, env: np.copyto(target, _sigmoid(x))
+        if kind == "leaky_relu":
+            slope = op.params["negative_slope"]
+
+            def run(x: np.ndarray, target: np.ndarray, env: dict) -> None:
+                scale = np.where(x > 0, 1.0, slope).astype(x.dtype)
+                np.multiply(x, scale, out=target)
+
+            return run
+        # bias_add / affine in native layout: stage x then apply in place.
+        applier = self._applier(op, get, channels_last=False)
+
+        def run(x: np.ndarray, target: np.ndarray, env: dict) -> None:
+            np.copyto(target, x)
+            applier(target, env)
+
+        return run
+
+    # -- Singleton kernels ---------------------------------------------
+    def _lower_maxpool(
+        self, op: LazyOp, get_x: Getter, out: Getter
+    ) -> Callable[[dict], None]:
+        kh, kw = op.params["kernel"]
+        sh, sw = op.params["stride"]
+        out_h, out_w = op.shape[2], op.shape[3]
+
+        def run(env: dict) -> None:
+            x = get_x(env)
+            target = out(env)
+            # Same slice-wise reduction as F._pool_max_slices, with the
+            # accumulator hosted in the arena instead of a fresh array.
+            np.copyto(target, x[:, :, 0:out_h * sh:sh, 0:out_w * sw:sw])
+            for i in range(kh):
+                for j in range(kw):
+                    if i == 0 and j == 0:
+                        continue
+                    piece = x[:, :, i:i + out_h * sh:sh, j:j + out_w * sw:sw]
+                    np.maximum(target, piece, out=target)
+
+        return run
+
+    def _lower_avgpool(
+        self, op: LazyOp, get_x: Getter, out: Getter
+    ) -> Callable[[dict], None]:
+        kh, kw = op.params["kernel"]
+        sh, sw = op.params["stride"]
+        out_h, out_w = op.shape[2], op.shape[3]
+
+        def run(env: dict) -> None:
+            x = get_x(env)
+            target = out(env)
+            scale = x.dtype.type(1.0 / (kh * kw))
+            np.copyto(target, x[:, :, 0:out_h * sh:sh, 0:out_w * sw:sw])
+            for i in range(kh):
+                for j in range(kw):
+                    if i == 0 and j == 0:
+                        continue
+                    target += x[:, :, i:i + out_h * sh:sh, j:j + out_w * sw:sw]
+            target *= scale
+
+        return run
+
+    def _lower_upsample(
+        self, op: LazyOp, get_x: Getter, out: Getter
+    ) -> Callable[[dict], None]:
+        scale = op.params["scale"]
+        n, c, out_h, out_w = op.shape
+        h, w = out_h // scale, out_w // scale
+
+        def run(env: dict) -> None:
+            x = get_x(env)
+            # Broadcast assignment == x.repeat(scale, 2).repeat(scale, 3).
+            blocks = out(env).reshape(n, c, h, scale, w, scale)
+            blocks[...] = x[:, :, :, None, :, None]
+
+        return run
+
+    def _lower_softmax(
+        self, op: LazyOp, get_x: Getter, out: Getter
+    ) -> Callable[[dict], None]:
+        axis = op.params["axis"]
+
+        def run(env: dict) -> None:
+            x = get_x(env)
+            target = out(env)
+            # Mirrors Tensor.softmax's inference fast path exactly.
+            np.subtract(x, x.max(axis=axis, keepdims=True), out=target)
+            np.exp(target, out=target)
+            target /= target.sum(axis=axis, keepdims=True)
+
+        return run
+
+    def _lower_log_softmax(
+        self, op: LazyOp, get_x: Getter, out: Getter
+    ) -> Callable[[dict], None]:
+        axis = op.params["axis"]
+
+        def run(env: dict) -> None:
+            x = get_x(env)
+            target = out(env)
+            np.subtract(x, x.max(axis=axis, keepdims=True), out=target)
+            exp = np.exp(target)
+            target -= np.log(exp.sum(axis=axis, keepdims=True))
+
+        return run
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """The numerically stable logistic of :meth:`Tensor.sigmoid`, verbatim."""
+    clipped = np.clip(x, -60, 60)
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-clipped)),
+        np.exp(clipped) / (1.0 + np.exp(clipped)),
+    ).astype(x.dtype)
+
+
+register_backend(NumpyBackend())

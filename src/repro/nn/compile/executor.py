@@ -1,0 +1,175 @@
+"""Arena-hosted execution of a fused, planned graph.
+
+:class:`CompiledGraph` owns one byte arena sized by the planner and a
+list of backend-lowered kernel closures.  A run is: resolve leaves
+(inputs + live parameter bindings) into an environment dict, execute
+the kernels in order (graph outputs are produced into fresh buffers or
+fresh views as each kernel runs — they escape to the caller, like
+eager results), return the outputs.
+Everything intermediate lives in the arena at planner-assigned offsets,
+so steady-state runs perform no large allocations beyond the outputs
+themselves.
+
+:meth:`CompiledGraph.release` drops the arena (and the kernel closures
+viewing it) so an idle server can return the memory; the next run
+rebuilds both from the retained plan.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .backend import Backend
+from .fuse import FusedProgram
+from .ir import Graph
+from .plan import ArenaPlan
+
+__all__ = ["CompiledGraph"]
+
+
+class CompiledGraph:
+    """One (graph, plan, backend) triple, ready to run repeatedly."""
+
+    def __init__(
+        self,
+        program: FusedProgram,
+        plan: ArenaPlan,
+        backend: Backend,
+    ) -> None:
+        self.program = program
+        self.graph: Graph = program.graph
+        self.plan = plan
+        self.backend = backend
+        self._arena: Optional[np.ndarray] = None
+        self._fns: Optional[List[Callable[[dict], None]]] = None
+        self._static_views: Dict[int, np.ndarray] = {}
+        self._external = {
+            op.id for op in self.graph.ops if op.kind in ("input", "param")
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection (telemetry / tests)
+    # ------------------------------------------------------------------
+    @property
+    def arena_nbytes(self) -> int:
+        return self.plan.total_bytes
+
+    @property
+    def kernel_count(self) -> int:
+        return len(self.program.kernels)
+
+    @property
+    def ops_fused(self) -> int:
+        return self.program.ops_fused
+
+    def release(self) -> int:
+        """Drop the arena; returns the bytes freed.  Rebuilt lazily."""
+        freed = 0 if self._arena is None else self._arena.nbytes
+        self._arena = None
+        self._fns = None
+        self._static_views = {}
+        return freed
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def _view(self, arena: np.ndarray, offset: int, nbytes: int) -> np.ndarray:
+        return arena[offset:offset + nbytes]
+
+    def _materialize(self) -> None:
+        graph, program, plan = self.graph, self.program, self.plan
+        arena = np.empty((plan.total_bytes,), dtype=np.uint8)
+        views: Dict[int, np.ndarray] = {}
+        for root, slot in plan.slots.items():
+            op = graph.op(root)
+            nbytes = int(np.prod(op.shape, dtype=np.int64)) * np.dtype(op.dtype).itemsize
+            views[root] = (
+                self._view(arena, slot.offset, nbytes)
+                .view(np.dtype(op.dtype))
+                .reshape(op.shape)
+            )
+        self._static_views = views
+
+        def make_getter(value_id: int) -> Callable[[dict], np.ndarray]:
+            root = program.resolve(value_id)
+            shape = graph.op(value_id).shape
+            static = views.get(root)
+            if static is not None:
+                view = static if static.shape == shape else static.reshape(shape)
+                return lambda env, _v=view: _v
+            if graph.op(root).shape == shape:
+                return lambda env, _r=root: env[_r]
+            return lambda env, _r=root, _s=shape: env[_r].reshape(_s)
+
+        def make_out(root: int) -> Callable[[dict], np.ndarray]:
+            # Kernel-output getter: arena view for planned intermediates;
+            # graph outputs (external to the arena) are allocated fresh
+            # on first use and published into the run environment, so
+            # they escape to the caller like eager results.
+            static = views.get(root)
+            if static is not None:
+                return lambda env, _v=static: _v
+            op = graph.op(root)
+            shape, dt = op.shape, np.dtype(op.dtype)
+
+            def getter(env: dict, _r=root, _s=shape, _d=dt) -> np.ndarray:
+                buf = env.get(_r)
+                if buf is None:
+                    buf = np.empty(_s, dtype=_d)
+                    env[_r] = buf
+                return buf
+
+            return getter
+
+        fns: List[Callable[[dict], None]] = []
+        for index, kernel in enumerate(program.kernels):
+            scratch: Dict[str, np.ndarray] = {}
+            for tag, nbytes in self.backend.scratch_requests(kernel, program):
+                slot = plan.scratch[(index, tag)]
+                scratch[tag] = self._view(arena, slot.offset, nbytes)
+            fns.append(
+                self.backend.lower(
+                    kernel, program, make_getter, make_out(kernel.output), scratch
+                )
+            )
+        self._arena = arena
+        self._fns = fns
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, *inputs: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Execute the graph; returns one fresh array per graph output."""
+        graph = self.graph
+        if len(inputs) != len(graph.input_ids):
+            raise ValueError(
+                f"graph takes {len(graph.input_ids)} inputs, got {len(inputs)}"
+            )
+        if self._fns is None:
+            self._materialize()
+        env: dict = {}
+        for value_id, array in zip(graph.input_ids, inputs):
+            op = graph.op(value_id)
+            if tuple(array.shape) != op.shape:
+                raise ValueError(
+                    f"input %{value_id} expects shape {op.shape}, got {array.shape}"
+                )
+            env[value_id] = np.ascontiguousarray(array, dtype=np.dtype(op.dtype))
+        for value_id, binding in graph.bindings.items():
+            env[value_id] = binding()
+        for fn in self._fns:
+            fn(env)
+        results = []
+        for value_id in graph.output_ids:
+            root = self.program.resolve(value_id)
+            out = env[root] if root in env else self._static_views[root]
+            shape = graph.op(value_id).shape
+            if out.shape != shape:
+                out = out.reshape(shape)
+            if root in self._external:
+                # The output aliases a caller-owned leaf; hand back a copy.
+                out = out.copy()
+            results.append(out)
+        return tuple(results)

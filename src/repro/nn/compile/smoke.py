@@ -1,0 +1,87 @@
+"""Compiler smoke check: ``python -m repro.nn.compile.smoke``.
+
+Builds a small Table-I-shaped CNN and a SelectiveNet, compiles both,
+and asserts the compiled outputs are **bit-identical** to the eager
+``inference_mode`` outputs.  Prints a one-line JSON summary and exits
+nonzero on any mismatch, so CI (``scripts/check.sh``) can gate on it in
+a few seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+
+def run_smoke() -> dict:
+    from ...core.cnn import BackboneConfig, WaferCNN
+    from ...core.selective import SelectiveNet
+    from . import compiled_for
+
+    config = BackboneConfig(
+        input_size=32, conv_channels=(8, 8), conv_kernels=(5, 3), fc_units=32, seed=3
+    )
+    rng = np.random.default_rng(99)
+    x = rng.normal(size=(4, 1, 32, 32)).astype(np.float32)
+
+    summary = {"checks": [], "ok": True}
+
+    cnn = WaferCNN(num_classes=5, config=config)
+    cnn.eval()
+    compiled = compiled_for(cnn)
+    out = compiled.try_run(x)
+    from . import eager_only
+
+    with eager_only():
+        eager = cnn.predict_proba(x, batch_size=len(x))
+    cnn_ok = out is not None and np.array_equal(out[0], eager)
+    graph = next(iter(compiled.graphs.values()), None)
+    summary["checks"].append(
+        {
+            "model": "WaferCNN",
+            "compiled": out is not None,
+            "bit_identical": bool(cnn_ok),
+            "kernels": graph.kernel_count if graph else 0,
+            "ops_fused": graph.ops_fused if graph else 0,
+            "arena_bytes": graph.arena_nbytes if graph else 0,
+        }
+    )
+    summary["ok"] &= cnn_ok
+
+    net = SelectiveNet(num_classes=5, config=config)
+    net.eval()
+    compiled = compiled_for(net)
+    out = compiled.try_run(x)
+    with eager_only():
+        probs, scores = net.predict_batched(x, batch_size=len(x))
+    net_ok = (
+        out is not None
+        and np.array_equal(out[0], probs)
+        and np.array_equal(out[1], scores)
+    )
+    graph = next(iter(compiled.graphs.values()), None)
+    summary["checks"].append(
+        {
+            "model": "SelectiveNet",
+            "compiled": out is not None,
+            "bit_identical": bool(net_ok),
+            "kernels": graph.kernel_count if graph else 0,
+            "ops_fused": graph.ops_fused if graph else 0,
+            "arena_bytes": graph.arena_nbytes if graph else 0,
+        }
+    )
+    summary["ok"] &= net_ok
+    summary["ok"] = bool(summary["ok"])
+    return summary
+
+
+def main() -> int:
+    summary = run_smoke()
+    print(json.dumps(summary))
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -477,12 +477,14 @@ def _conv2d_forward(
     and a non-overlapping max-pool.
 
     Under :func:`~repro.nn.tensor.is_inference_mode`, the im2col column
-    matrix and the GEMM output live in the scratch pool; bias add and
-    ReLU run in place on the GEMM output.  A fused ``pool_kernel``
-    (stride == kernel, evenly dividing the conv output) is applied in
-    the GEMM's natural NHWC layout, so only the pooled result — 1/4th
-    of the activation for a 2x2 pool — pays the transpose back to NCHW.
-    The returned NCHW array is always a fresh contiguous copy.
+    matrix lives in the scratch pool; bias add and ReLU run in place on
+    the GEMM output.  A fused ``pool_kernel`` (stride == kernel, evenly
+    dividing the conv output) is applied in the GEMM's natural NHWC
+    layout, so only the pooled result — 1/4th of the activation for a
+    2x2 pool — pays the transpose back to NCHW; only then does the GEMM
+    output itself live in scratch.  Unpooled results are returned as a
+    transposed view of a freshly allocated GEMM output (never scratch),
+    so a standalone conv performs strictly less work than the tape path.
     """
     pool = _scratch if is_inference_mode() else None
     n, c_in, h, w = x.shape
@@ -498,11 +500,19 @@ def _conv2d_forward(
     rows, features = n * out_h * out_w, c_in * kh * kw
     if pool is None:
         cols3 = np.take(flat, index, axis=1, mode="clip")
-        gemm_out = np.empty((rows, c_out), dtype=x.dtype)
     else:
         cols3 = pool.get((n,) + index.shape, x.dtype)
         np.take(flat, index, axis=1, mode="clip", out=cols3)
+    if pool is not None and pool_kernel is not None:
+        # Only the pooled path keeps the GEMM output in scratch: the
+        # pooled result is a fresh copy anyway, so the full-size
+        # activation never escapes.  Unpooled outputs escape as tensor
+        # data, so they are allocated fresh and returned as a transposed
+        # view — paying neither a scratch round-trip nor the extra
+        # full-activation copy the tape path avoids.
         gemm_out = pool.get((rows, c_out), x.dtype)
+    else:
+        gemm_out = np.empty((rows, c_out), dtype=x.dtype)
     cols = cols3.reshape(rows, features)
     np.matmul(cols, weight.reshape(c_out, -1).T, out=gemm_out)
     if bias is not None:
@@ -514,8 +524,7 @@ def _conv2d_forward(
         nhwc = gemm_out.reshape(n, out_h // ph, ph, out_w // pw, pw, c_out)
         pooled = nhwc.max(axis=(2, 4))
         return pooled.transpose(0, 3, 1, 2).copy()
-    # Fresh owned NCHW output; scratch never escapes.
-    return gemm_out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2).copy()
+    return gemm_out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
 
 
 def conv2d(

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..nn import functional as F
+from ..nn.compile import release_compiled
 from ..obs.flight import dump_flight, record_flight_event
 from ..obs.trace import current_tracer, remote_span
 from ..parallel import (
@@ -85,8 +86,9 @@ class InProcessBackend:
         return self._infer_fn(inputs)
 
     def reclaim(self) -> None:
-        """Free inference scratch between traffic bursts."""
+        """Free inference scratch and compiled arenas between bursts."""
         F.free_inference_scratch()
+        release_compiled()
 
     def close(self) -> None:
         pass
@@ -137,6 +139,7 @@ def _replica_worker(rank, num_workers, pipe, payload) -> None:
                 continue
             if message[0] == "reclaim":
                 F.free_inference_scratch()
+                release_compiled()
                 continue
             if message[0] == "telemetry":
                 pipe.send(
@@ -326,8 +329,9 @@ class ReplicaPoolBackend:
         self._m_restarts.inc()
 
     def reclaim(self) -> None:
-        """Free inference scratch in the parent and every replica."""
+        """Free inference scratch and arenas in parent and replicas."""
         F.free_inference_scratch()
+        release_compiled()
         try:
             self._pool.broadcast(("reclaim",))
         except (BrokenPipeError, OSError):  # pragma: no cover - shutdown race

@@ -129,6 +129,60 @@ class TestDeterminism:
         assert result.latency_s > 0.0
 
 
+class TestCompiledDeterminism:
+    """Served decisions must not depend on the compiled fast path.
+
+    ``predict_batched`` transparently compiles replica forwards, so the
+    whole-engine results must equal an explicitly *eager* reference —
+    accept/reject and labels exactly, not merely within tolerance.
+    """
+
+    @pytest.fixture(scope="class")
+    def eager_reference(self, model, grids):
+        from repro.nn.compile import eager_only
+
+        tensors = np.stack([grid_to_tensor(g) for g in grids])
+        with eager_only():
+            return model.predict_selective(tensors)
+
+    def test_compiled_engine_matches_eager_reference(
+        self, model, grids, eager_reference
+    ):
+        config = ServeConfig(max_batch_size=6, max_latency_ms=2.0, cache_bytes=0)
+        with ServeEngine(model, config, registry=MetricsRegistry()) as engine:
+            results = engine.classify_many(list(grids), timeout=60.0)
+        assert_matches_reference(results, eager_reference)
+
+    def test_reclaim_releases_compiled_arenas_and_stays_exact(
+        self, model, grids, eager_reference
+    ):
+        from repro.nn.compile import compiled_for
+
+        config = ServeConfig(max_batch_size=6, max_latency_ms=2.0, cache_bytes=0)
+        with ServeEngine(model, config, registry=MetricsRegistry()) as engine:
+            engine.classify_many(list(grids), timeout=60.0)
+            engine._backend.reclaim()
+            compiled = compiled_for(model)
+            assert all(
+                graph._arena is None for graph in compiled.graphs.values()
+            )
+            results = engine.classify_many(list(grids), timeout=60.0)
+        assert_matches_reference(results, eager_reference)
+
+    @pytest.mark.skipif(
+        not parallel_supported(2), reason="multiprocessing unavailable"
+    )
+    def test_compiled_replica_path_matches_eager_reference(
+        self, model, grids, eager_reference
+    ):
+        config = ServeConfig(
+            max_batch_size=6, max_latency_ms=2.0, num_replicas=2, cache_bytes=0
+        )
+        with ServeEngine(model, config, registry=MetricsRegistry()) as engine:
+            results = engine.classify_many(list(grids), timeout=120.0)
+        assert_matches_reference(results, eager_reference)
+
+
 class TestFullCoverageModel:
     def test_wafer_cnn_accepts_everything(self, grids):
         model = WaferCNN(
