@@ -28,13 +28,18 @@ import sys
 import types
 
 from .api import (
+    BACKEND_ENV_VAR,
     CompiledModule,
+    active_backend_info,
     compile_module,
     compiled_for,
+    default_backend_name,
     eager_only,
     is_enabled,
     register_graph_factory,
     release_compiled,
+    resolve_backend_name,
+    set_default_backend,
     set_enabled,
 )
 from .backend import (
@@ -47,7 +52,15 @@ from .backend import (
 from .executor import CompiledGraph
 from .fuse import FusedProgram, Kernel, fuse_graph
 from .ir import Graph, GraphBuilder, LazyOp, UnsupportedOpError
-from .plan import ArenaPlan, Slot, plan_buffers
+from .plan import (
+    ArenaPlan,
+    KernelPartition,
+    Slot,
+    partition_rows,
+    plan_buffers,
+    plan_partitions,
+)
+from .threaded import ThreadedBackend, configure_threads, thread_count
 from .trace import register_tracer, trace_call, trace_module
 
 __all__ = [
@@ -74,10 +87,21 @@ __all__ = [
     "plan_buffers",
     "Backend",
     "NumpyBackend",
+    "ThreadedBackend",
     "register_backend",
     "get_backend",
     "backend_names",
     "CompiledGraph",
+    "KernelPartition",
+    "partition_rows",
+    "plan_partitions",
+    "configure_threads",
+    "thread_count",
+    "resolve_backend_name",
+    "set_default_backend",
+    "default_backend_name",
+    "active_backend_info",
+    "BACKEND_ENV_VAR",
 ]
 
 
@@ -86,7 +110,7 @@ class _CallableModule(types.ModuleType):
     (so ``python -m repro.nn.compile.smoke`` and submodule imports still
     resolve normally)."""
 
-    def __call__(self, model, backend: str = "numpy") -> CompiledModule:
+    def __call__(self, model, backend=None) -> CompiledModule:
         return compile_module(model, backend=backend)
 
 

@@ -5,80 +5,104 @@ and asserts the compiled outputs are **bit-identical** to the eager
 ``inference_mode`` outputs.  Prints a one-line JSON summary and exits
 nonzero on any mismatch, so CI (``scripts/check.sh``) can gate on it in
 a few seconds.
+
+``--backend NAME`` selects the compile backend (default ``numpy``);
+``--backend threaded`` additionally checks every pool size in
+``--threads`` (default ``1,4``) against the same eager reference, so
+the CI gate covers both the serial degeneration and a real pool.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
+from typing import Optional, Sequence
 
 import numpy as np
 
 
-def run_smoke() -> dict:
+def _check(model_name: str, compiled, x, reference_outputs) -> dict:
+    out = compiled.try_run(x)
+    ok = out is not None and all(
+        np.array_equal(got, want) for got, want in zip(out, reference_outputs)
+    )
+    graph = next(iter(compiled.graphs.values()), None)
+    return {
+        "model": model_name,
+        "compiled": out is not None,
+        "bit_identical": bool(ok),
+        "kernels": graph.kernel_count if graph else 0,
+        "ops_fused": graph.ops_fused if graph else 0,
+        "arena_bytes": graph.arena_nbytes if graph else 0,
+    }
+
+
+def run_smoke(backend: Optional[str] = None, threads: Sequence[int] = (1, 4)) -> dict:
     from ...core.cnn import BackboneConfig, WaferCNN
     from ...core.selective import SelectiveNet
-    from . import compiled_for
+    from . import (
+        compiled_for,
+        configure_threads,
+        eager_only,
+        resolve_backend_name,
+        thread_count,
+    )
 
+    backend = resolve_backend_name(backend)
     config = BackboneConfig(
         input_size=32, conv_channels=(8, 8), conv_kernels=(5, 3), fc_units=32, seed=3
     )
     rng = np.random.default_rng(99)
     x = rng.normal(size=(4, 1, 32, 32)).astype(np.float32)
 
-    summary = {"checks": [], "ok": True}
+    summary = {"backend": backend, "checks": [], "ok": True}
 
     cnn = WaferCNN(num_classes=5, config=config)
     cnn.eval()
-    compiled = compiled_for(cnn)
-    out = compiled.try_run(x)
-    from . import eager_only
-
-    with eager_only():
-        eager = cnn.predict_proba(x, batch_size=len(x))
-    cnn_ok = out is not None and np.array_equal(out[0], eager)
-    graph = next(iter(compiled.graphs.values()), None)
-    summary["checks"].append(
-        {
-            "model": "WaferCNN",
-            "compiled": out is not None,
-            "bit_identical": bool(cnn_ok),
-            "kernels": graph.kernel_count if graph else 0,
-            "ops_fused": graph.ops_fused if graph else 0,
-            "arena_bytes": graph.arena_nbytes if graph else 0,
-        }
-    )
-    summary["ok"] &= cnn_ok
-
     net = SelectiveNet(num_classes=5, config=config)
     net.eval()
-    compiled = compiled_for(net)
-    out = compiled.try_run(x)
     with eager_only():
-        probs, scores = net.predict_batched(x, batch_size=len(x))
-    net_ok = (
-        out is not None
-        and np.array_equal(out[0], probs)
-        and np.array_equal(out[1], scores)
-    )
-    graph = next(iter(compiled.graphs.values()), None)
-    summary["checks"].append(
-        {
-            "model": "SelectiveNet",
-            "compiled": out is not None,
-            "bit_identical": bool(net_ok),
-            "kernels": graph.kernel_count if graph else 0,
-            "ops_fused": graph.ops_fused if graph else 0,
-            "arena_bytes": graph.arena_nbytes if graph else 0,
-        }
-    )
-    summary["ok"] &= net_ok
+        cnn_ref = (cnn.predict_proba(x, batch_size=len(x)),)
+        net_ref = net.predict_batched(x, batch_size=len(x))
+
+    pool_sizes = list(threads) if backend == "threaded" else [None]
+    previous = thread_count()
+    try:
+        for pool in pool_sizes:
+            if pool is not None:
+                configure_threads(pool)
+            for name, model, ref in (
+                ("WaferCNN", cnn, cnn_ref),
+                ("SelectiveNet", net, net_ref),
+            ):
+                check = _check(name, compiled_for(model, backend=backend), x, ref)
+                if pool is not None:
+                    check["threads"] = pool
+                summary["checks"].append(check)
+                summary["ok"] &= check["bit_identical"]
+    finally:
+        configure_threads(previous)
     summary["ok"] = bool(summary["ok"])
     return summary
 
 
-def main() -> int:
-    summary = run_smoke()
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.nn.compile.smoke",
+        description="Compile two reference models and check bit-identity.",
+    )
+    parser.add_argument(
+        "--backend", default=None,
+        help="compile backend name (default: REPRO_COMPILE_BACKEND or numpy)",
+    )
+    parser.add_argument(
+        "--threads", default="1,4", metavar="N,N",
+        help="comma-separated pool sizes checked with --backend threaded",
+    )
+    args = parser.parse_args(argv)
+    threads = tuple(int(part) for part in args.threads.split(",") if part)
+    summary = run_smoke(backend=args.backend, threads=threads)
     print(json.dumps(summary))
     return 0 if summary["ok"] else 1
 

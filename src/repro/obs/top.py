@@ -63,6 +63,7 @@ def compute_rates(
     abstained = _delta(now, before, "serve.abstained_total")
     gw_requests = _delta(now, before, "gateway.requests_total")
     gw_rejected = _delta(now, before, "gateway.rejected_total")
+    tiles = _delta(now, before, "compile.threads.tiles")
     return {
         "qps": requests / dt_s if dt_s > 0 else None,
         "shed_rate": _ratio(shed, requests),
@@ -72,6 +73,8 @@ def compute_rates(
         "gateway_qps": gw_requests / dt_s if dt_s > 0 else None,
         "gateway_requests": gw_requests,
         "gateway_reject_rate": _ratio(gw_rejected, gw_requests),
+        "compile_tiles": tiles,
+        "compile_tiles_per_s": tiles / dt_s if dt_s > 0 else None,
     }
 
 
@@ -144,6 +147,22 @@ def render(
             marker = "" if state == "closed" else "  <-- degraded"
             lines.append(f"    {lane:<28} {state}{marker}")
     counters = curr.get("counters", {})
+    gauges = curr.get("gauges", {})
+    backends = sorted(
+        name[len("compile.active."):]
+        for name, value in gauges.items()
+        if name.startswith("compile.active.") and value
+    )
+    if backends or counters.get("compile.graphs"):
+        pool = gauges.get("compile.threads.pool_size", 1)
+        tiles_s = rates["compile_tiles_per_s"]
+        tiles = f"{tiles_s:8.1f}" if tiles_s is not None else "      --"
+        lines.append(
+            f"  compile      {'+'.join(backends) or 'numpy':<10}"
+            f" pool {pool:.0f}  tiles/s {tiles}"
+            f"  cache {counters.get('compile.cache_hits', 0):.0f}/"
+            f"{counters.get('compile.cache_misses', 0):.0f} hit/miss"
+        )
     respawns = counters.get("parallel.worker.respawns", 0)
     restarts = counters.get("serve.replica.restarts", 0)
     if respawns or restarts:
@@ -180,9 +199,16 @@ def _demo_frames() -> List[Dict[str, Any]]:
     registry.gauge("serve.lane0.breaker_state").set(0)
     registry.gauge("serve.lane1.breaker_state").set(2)
     registry.gauge("serve.queue_depth").set(4)
+    registry.gauge("compile.active.threaded").set(1)
+    registry.gauge("compile.threads.pool_size").set(4)
+    registry.counter("compile.graphs").inc(2)
+    registry.counter("compile.cache_hits").inc(198)
+    registry.counter("compile.cache_misses").inc(2)
+    compile_tiles = registry.counter("compile.threads.tiles")
     latency = registry.histogram("serve.latency_s")
     frames = []
     for frame in range(3):
+        compile_tiles.inc(360)
         for i in range(200):
             requests.inc()
             (hits if i % 3 == 0 else misses).inc()

@@ -100,6 +100,26 @@ class InProcessBackend:
         self.close()
 
 
+def _configure_compile(
+    backend_name: Optional[str], threads: Optional[int], lanes: int
+) -> None:
+    """Apply the serve compile policy inside one replica process.
+
+    ``set_default_backend`` routes every ``compiled_for`` call of this
+    process to the configured backend; ``configure_threads`` sizes its
+    compile pool, clamped so the threads × replicas topology never
+    oversubscribes the machine — each replica's BLAS is already pinned
+    to a single thread (:data:`repro.parallel.BLAS_ENV_VARS`), so the
+    compile pool is the only per-replica parallelism to budget.
+    """
+    from ..nn.compile import set_default_backend
+    from ..nn.compile.threaded import clamped_threads, configure_threads
+
+    if backend_name is not None:
+        set_default_backend(backend_name)
+    configure_threads(clamped_threads(threads, lanes))
+
+
 def _replica_worker(rank, num_workers, pipe, payload) -> None:
     """Worker loop: bind the rank's arena slots, serve infer requests.
 
@@ -118,7 +138,8 @@ def _replica_worker(rank, num_workers, pipe, payload) -> None:
     from ..obs.aggregate import mergeable_snapshot
     from ..obs.metrics import MetricsRegistry
 
-    model, handle, max_batch = payload
+    model, handle, max_batch, compile_cfg = payload
+    _configure_compile(compile_cfg[0], compile_cfg[1], num_workers)
     infer_fn = model_infer_fn(model)
     registry = MetricsRegistry()
     m_batches = registry.counter("serve.worker.batches")
@@ -202,6 +223,8 @@ class ReplicaPoolBackend:
         restarts: int = 2,
         registry=None,
         aggregator=None,
+        compile_backend: Optional[str] = None,
+        compile_threads: Optional[int] = None,
     ) -> None:
         if num_replicas < 2:
             raise ValueError("ReplicaPoolBackend needs >= 2 replicas")
@@ -231,7 +254,12 @@ class ReplicaPoolBackend:
             self._pool = WorkerPool(
                 num_replicas,
                 _replica_worker,
-                payload=(model, self._arena.handle(), max_batch),
+                payload=(
+                    model,
+                    self._arena.handle(),
+                    max_batch,
+                    (compile_backend, compile_threads),
+                ),
                 timeout=timeout,
             )
         except BaseException:
@@ -358,12 +386,24 @@ def make_backend(
     restarts: int = 2,
     registry=None,
     aggregator=None,
+    compile_backend: Optional[str] = None,
+    compile_threads: Optional[int] = None,
 ):
-    """Replica pool when possible, in-process fallback otherwise."""
+    """Replica pool when possible, in-process fallback otherwise.
+
+    ``compile_backend`` / ``compile_threads`` configure the compiled
+    inference path per replica process (see :class:`ServeConfig`); on
+    the in-process fallback they apply to this process — but only when
+    explicitly set, so serving with defaults never clobbers a global
+    compile policy the host application already chose.
+    """
     if num_replicas > 1 and parallel_supported(num_replicas):
         return ReplicaPoolBackend(
             model, num_replicas, max_batch, input_hw, num_classes,
             timeout=timeout, restarts=restarts, registry=registry,
-            aggregator=aggregator,
+            aggregator=aggregator, compile_backend=compile_backend,
+            compile_threads=compile_threads,
         )
+    if compile_backend is not None or compile_threads is not None:
+        _configure_compile(compile_backend, compile_threads, lanes=1)
     return InProcessBackend(model_infer_fn(model))

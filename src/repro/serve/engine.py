@@ -108,6 +108,16 @@ class ServeConfig:
         Seconds an open breaker waits before allowing the probe.
     replica_restarts:
         Per-lane respawn budget of the replica pool backend.
+    compile_backend:
+        Compile backend name (``"numpy"`` / ``"threaded"``) every
+        replica process selects as its default at start-up; ``None``
+        leaves the process/env resolution
+        (:data:`repro.nn.compile.BACKEND_ENV_VAR`) untouched.
+    compile_threads:
+        Requested per-replica compile thread-group size.  The effective
+        size is clamped so ``threads × replicas`` never exceeds the
+        machine's cores (replica BLAS is already pinned to one thread);
+        ``None`` clamps the env/default resolution instead.
     """
 
     max_batch_size: int = 64
@@ -122,6 +132,8 @@ class ServeConfig:
     breaker_failures: int = 3
     breaker_reset_s: float = 5.0
     replica_restarts: int = 2
+    compile_backend: Optional[str] = None
+    compile_threads: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_latency_ms < 0:
@@ -134,6 +146,13 @@ class ServeConfig:
             raise ValueError("breaker_reset_s must be positive")
         if self.replica_restarts < 0:
             raise ValueError("replica_restarts must be non-negative")
+        if self.compile_backend is not None:
+            from ..nn.compile import resolve_backend_name
+
+            # Fail at config time, not inside a forked replica.
+            resolve_backend_name(self.compile_backend)
+        if self.compile_threads is not None and self.compile_threads < 1:
+            raise ValueError("compile_threads must be >= 1")
 
 
 @dataclass
@@ -277,6 +296,8 @@ class ServeEngine:
             restarts=self.config.replica_restarts,
             registry=self._registry,
             aggregator=self.fleet,
+            compile_backend=self.config.compile_backend,
+            compile_threads=self.config.compile_threads,
         )
         # Degradation ladder: replica lane → (breaker opens) →
         # in-process fallback on the parent's copy of the model.  With

@@ -1,0 +1,75 @@
+"""Serve-side compile policy: config validation + in-process wiring.
+
+The replica-process half (workers calling ``set_default_backend`` /
+``configure_threads`` at startup) is exercised end to end by the
+replica-pool tests; here we pin what is cheap to pin in-process — that
+a bad policy fails at config time, and that the single-lane fallback
+applies an explicit policy (clamped) to this process.
+"""
+
+import os
+
+import pytest
+
+from repro.nn.compile import (
+    configure_threads,
+    default_backend_name,
+    set_default_backend,
+    thread_count,
+)
+from repro.serve.backend import InProcessBackend, make_backend
+from repro.serve.engine import ServeConfig
+
+
+@pytest.fixture(autouse=True)
+def _restore_compile_policy():
+    previous_backend = set_default_backend(None)
+    set_default_backend(previous_backend)
+    previous_threads = thread_count()
+    yield
+    set_default_backend(previous_backend)
+    configure_threads(previous_threads)
+
+
+def test_config_rejects_unknown_backend_eagerly():
+    with pytest.raises(KeyError):
+        ServeConfig(compile_backend="no-such-backend")
+
+
+def test_config_rejects_nonpositive_threads():
+    with pytest.raises(ValueError):
+        ServeConfig(compile_threads=0)
+
+
+def test_config_accepts_valid_policy():
+    config = ServeConfig(compile_backend="threaded", compile_threads=2)
+    assert config.compile_backend == "threaded"
+    assert config.compile_threads == 2
+
+
+class _Probe:
+    """Minimal model satisfying model_infer_fn's protocol."""
+
+    def predict_batched(self, inputs):  # pragma: no cover - never called
+        raise AssertionError("not exercised")
+
+
+def test_in_process_fallback_applies_explicit_policy():
+    backend = make_backend(
+        _Probe(), num_replicas=1, max_batch=8, input_hw=(8, 8),
+        num_classes=2, compile_backend="threaded", compile_threads=2,
+    )
+    assert isinstance(backend, InProcessBackend)
+    assert default_backend_name() == "threaded"
+    # Clamped to the machine: never more threads than cores for 1 lane.
+    assert thread_count() == min(2, os.cpu_count() or 1)
+
+
+def test_in_process_fallback_leaves_defaults_alone():
+    set_default_backend("numpy")
+    configure_threads(3)
+    make_backend(
+        _Probe(), num_replicas=1, max_batch=8, input_hw=(8, 8), num_classes=2,
+    )
+    assert default_backend_name() == "numpy"
+    assert thread_count() == 3
