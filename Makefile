@@ -5,7 +5,7 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test chaos bench bench-perf bench-compile bench-parallel bench-serve bench-resilience bench-obs bench-gateway loadgen-smoke profile clean
+.PHONY: check test chaos bench bench-perf bench-compile bench-parallel bench-serve bench-resilience bench-obs bench-gateway bench-stream stream-smoke loadgen-smoke profile clean
 
 check:
 	sh scripts/check.sh
@@ -41,6 +41,14 @@ bench-obs:
 
 bench-gateway:
 	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite gateway --out-dir benchmarks/perf
+
+bench-stream:
+	PYTHONPATH=$(PYTHONPATH) python -m benchmarks.perf --suite stream --out-dir benchmarks/perf
+
+# End-to-end continual-ops scenario: drift detect -> label queue ->
+# shadow retrain -> atomic promote, with poison-rollback + chaos legs.
+stream-smoke:
+	PYTHONPATH=$(PYTHONPATH) python -m repro.stream.smoke
 
 loadgen-smoke:
 	PYTHONPATH=$(PYTHONPATH) python -m repro.serve.loadgen --smoke

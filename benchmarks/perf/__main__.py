@@ -21,6 +21,7 @@ from .bench_obs import run_obs_suite
 from .bench_parallel import run_parallel_suite
 from .bench_resilience import run_resilience_suite
 from .bench_serve import run_serve_suite
+from .bench_stream import run_stream_suite
 from .bench_train import run_train_suite
 from .harness import write_suite
 
@@ -46,7 +47,7 @@ def main(argv=None) -> int:
         "--suite",
         choices=[
             "infer", "compile", "train", "parallel", "serve", "resilience",
-            "obs", "gateway", "all",
+            "obs", "gateway", "stream", "all",
         ],
         default="all",
         help="which suite(s) to run",
@@ -110,6 +111,23 @@ def main(argv=None) -> int:
                 f"  goodput={overall['goodput_qps']:.0f}qps"
                 f"  shed={100 * overall['shed_rate']:.1f}%"
             )
+    if args.suite in ("stream", "all"):
+        # Continual-operations scenario: its own schema (scenario
+        # payload + swap timing), validated on write.
+        path = os.path.join(args.out_dir, "BENCH_stream.json")
+        payload = run_stream_suite(smoke=args.smoke, out_path=path)
+        scenario = payload["scenario"]
+        print(f"wrote {path}")
+        print(
+            f"  scenario seed={scenario['seed']}"
+            f"  time_to_detect={scenario['time_to_detect']} steps"
+            f"  time_to_recover={scenario['time_to_recover']} steps"
+            f"  labels={scenario['label_stats']['total_submitted']}"
+        )
+        print(
+            f"  swap_model median="
+            f"{payload['swap']['swap_wall_s_median'] * 1e3:.2f} ms"
+        )
     return 0
 
 

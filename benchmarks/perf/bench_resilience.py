@@ -95,7 +95,35 @@ def _train_cases(
     ckpt_case.metrics["checkpoint_overhead_pct"] = 100.0 * (
         ckpt_case.wall_s_median / plain_case.wall_s_median - 1.0
     )
-    return [plain_case, ckpt_case]
+
+    def checkpointed_async() -> None:
+        tmp = tempfile.mkdtemp(prefix="bench-ckpt-async-")
+        try:
+            Trainer(
+                _model(size),
+                TrainConfig(
+                    epochs=epochs, batch_size=16, seed=3,
+                    checkpoint_dir=tmp, checkpoint_every=1,
+                    checkpoint_async=True,
+                ),
+            ).fit(dataset)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    async_case = run_case(
+        "train_checkpointed_async", checkpointed_async, repeats=repeats,
+        warmup=1,
+        params={
+            "epochs": epochs, "samples": len(dataset), "input_size": size,
+            "checkpoint_every": 1, "checkpoint_async": True,
+        },
+    )
+    # The async writer's promise: publish off the step path, so the
+    # overhead vs plain training should undercut the synchronous case.
+    async_case.metrics["async_checkpoint_overhead_pct"] = 100.0 * (
+        async_case.wall_s_median / plain_case.wall_s_median - 1.0
+    )
+    return [plain_case, ckpt_case, async_case]
 
 
 def _checkpoint_cases(size: int, repeats: int) -> List[CaseResult]:

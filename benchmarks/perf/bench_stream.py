@@ -1,0 +1,177 @@
+"""Continual-operations suite: the full drift → retrain → promote loop
+→ ``BENCH_stream.json``.
+
+Unlike the closed-loop timing suites, the numbers that matter here are
+*operational*: how many stream steps until the drift alert fires
+(time-to-detect), how many until a shadow retrain is atomically
+promoted (time-to-recover), how much of the human label budget the
+episode consumed, and the accuracy/coverage trajectory across the
+pre-shift / during-shift / post-promote phases.  The payload embeds
+the full :meth:`~repro.stream.scenario.ScenarioResult.to_payload`
+record (decision digest included, so two machines can prove they ran
+the same episode) plus a wall-clock timing of the atomic
+``swap_model`` path itself.
+
+Interpretation on the CI container (single CPU): scenario wall time
+and swap latency share one core with training; the operational shape —
+detection before retraining, recovery within tolerance, poisoned
+retrain rolled back, no torn generation under chaos — is the contract.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.stream.scenario import (
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioConfig,
+    run_scenario,
+)
+
+from .harness import BENCH_SCHEMA_VERSION, machine_info
+
+__all__ = ["run_stream_suite", "validate_stream_suite", "RECOVERY_TOLERANCE"]
+
+#: Mirrors ``repro.stream.smoke.RECOVERY_TOLERANCE`` — post-promote
+#: accuracy may trail the pre-shift baseline by at most 2 points.
+RECOVERY_TOLERANCE = 0.02
+
+
+def _swap_timing(workdir: str, repeats: int) -> Dict[str, Any]:
+    """Median wall time of one committed blue-green swap."""
+    from repro.core.cnn import BackboneConfig
+    from repro.core.selective import SelectiveNet
+    from repro.obs.metrics import MetricsRegistry
+    from repro.resilience.checkpoint import CheckpointManager
+    from repro.serve.engine import ServeConfig, ServeEngine
+
+    model = SelectiveNet(
+        num_classes=3,
+        config=BackboneConfig(
+            input_size=16, conv_channels=(8, 8), conv_kernels=(3, 3),
+            fc_units=16, seed=0,
+        ),
+    )
+    manager = CheckpointManager(
+        os.path.join(workdir, "swap-timing"), keep=2,
+        registry=MetricsRegistry(),
+    )
+    checkpoint = manager.save(epoch=0, model=model)
+    engine = ServeEngine(model, ServeConfig(
+        max_batch_size=8, cache_bytes=0, num_replicas=1,
+    ), registry=MetricsRegistry())
+    try:
+        times: List[float] = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            engine.swap_model(checkpoint)
+            times.append(time.perf_counter() - started)
+        probe = np.zeros((16, 16), dtype=np.uint8)
+        generation = engine.classify(probe).generation
+    finally:
+        engine.close()
+    return {
+        "repeats": repeats,
+        "swap_wall_s_median": float(np.median(times)),
+        "swap_wall_s_min": float(min(times)),
+        "final_generation": generation,
+    }
+
+
+def run_stream_suite(smoke: bool = False, out_path: Optional[str] = None) -> dict:
+    """Run the scenario + swap timing; returns (and optionally writes)
+    the ``BENCH_stream.json`` payload."""
+    from repro.obs.export import provenance
+
+    config = ScenarioConfig(seed=0)
+    workdir = tempfile.mkdtemp(prefix="bench-stream-")
+    try:
+        result = run_scenario(config, workdir=workdir)
+        swap = _swap_timing(workdir, repeats=3 if smoke else 10)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": "stream",
+        "created_unix": time.time(),
+        "smoke": smoke,
+        "machine": machine_info(),
+        "provenance": provenance(),
+        "scenario": result.to_payload(),
+        "swap": swap,
+    }
+    validate_stream_suite(payload)
+    if out_path is not None:
+        import json
+
+        from repro.obs.events import _json_safe
+
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(_json_safe(payload), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return payload
+
+
+def validate_stream_suite(payload: dict) -> None:
+    """Schema + operational-contract gate for a stream suite payload.
+
+    Raises ``ValueError`` on the first violation; used both on freshly
+    generated payloads and on the committed ``BENCH_stream.json`` in
+    ``scripts/check.sh``.
+    """
+    def fail(message: str) -> None:
+        raise ValueError(f"BENCH_stream: {message}")
+
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        fail(f"schema {payload.get('schema')!r} != {BENCH_SCHEMA_VERSION}")
+    if payload.get("suite") != "stream":
+        fail("suite is not 'stream'")
+    if not payload.get("provenance"):
+        fail("missing provenance block")
+    scenario = payload.get("scenario") or {}
+    if scenario.get("schema") != SCENARIO_SCHEMA_VERSION:
+        fail("scenario payload has the wrong schema version")
+    if scenario.get("kind") != "stream_scenario":
+        fail("scenario payload kind is not 'stream_scenario'")
+    for key in ("trace_digest", "decision_digest"):
+        digest = scenario.get(key)
+        if not (isinstance(digest, str) and len(digest) == 64):
+            fail(f"scenario {key} is not a sha256 hex digest")
+    if scenario.get("time_to_detect") is None:
+        fail("drift was never detected")
+    if scenario.get("time_to_recover") is None:
+        fail("no retrain was promoted")
+    if scenario["time_to_detect"] > scenario["time_to_recover"]:
+        fail("recovery cannot precede detection")
+    phases = scenario.get("phase_metrics") or {}
+    pre = phases.get("pre_shift") or {}
+    post = phases.get("post_promote") or {}
+    if not post.get("steps"):
+        fail("no post-promote steps were measured")
+    if post["accuracy"] < pre["accuracy"] - RECOVERY_TOLERANCE:
+        fail(
+            f"post-promote accuracy {post['accuracy']:.3f} regressed more "
+            f"than {RECOVERY_TOLERANCE} below pre-shift {pre['accuracy']:.3f}"
+        )
+    labels = scenario.get("label_stats") or {}
+    budget = labels.get("budget_per_window")
+    spent = labels.get("labels_spent_by_window") or {}
+    if budget is None or any(v > budget for v in spent.values()):
+        fail("per-window label budget exceeded")
+    if scenario.get("poison_outcome") != "rolled_back":
+        fail(
+            f"poisoned retrain outcome {scenario.get('poison_outcome')!r} "
+            "!= 'rolled_back'"
+        )
+    chaos = scenario.get("chaos_results") or []
+    if not chaos or not all(entry.get("ok") for entry in chaos):
+        fail("a chaos swap fault point tore or skipped the generation check")
+    swap = payload.get("swap") or {}
+    if not swap.get("swap_wall_s_median", 0) > 0:
+        fail("swap timing is missing")

@@ -48,6 +48,12 @@ timeout 300 python -m pytest tests/resilience -q
 echo "== gateway traffic tests (protocol fuzz + admission + loadgen) =="
 timeout 300 python -m pytest tests/serve -q
 
+echo "== stream scenario tests (simulator, queue, router, promote/rollback) =="
+timeout 600 python -m pytest tests/stream -q
+
+echo "== stream smoke (drift detect -> retrain -> promote, poison + chaos) =="
+timeout 600 python -m repro.stream.smoke
+
 echo "== gateway loadgen smoke (open-loop, zero shed at sustainable) =="
 timeout 300 python -m repro.serve.loadgen --smoke
 
@@ -66,6 +72,32 @@ test -s "$smoke_dir/BENCH_serve.json"
 test -s "$smoke_dir/BENCH_resilience.json"
 test -s "$smoke_dir/BENCH_obs.json"
 test -s "$smoke_dir/BENCH_gateway.json"
+test -s "$smoke_dir/BENCH_stream.json"
+
+echo "== committed BENCH_stream.json schema + recovery gate =="
+python - benchmarks/perf/BENCH_stream.json <<'PY'
+import json, sys
+sys.path.insert(0, ".")
+from benchmarks.perf.bench_stream import validate_stream_suite
+with open(sys.argv[1]) as handle:
+    payload = json.load(handle)
+if payload.get("smoke"):
+    sys.exit("FAIL: committed BENCH_stream.json must be a full-mode run")
+try:
+    validate_stream_suite(payload)
+except ValueError as exc:
+    sys.exit(f"FAIL: {exc}")
+scenario = payload["scenario"]
+phases = scenario["phase_metrics"]
+print(f"time_to_detect:  {scenario['time_to_detect']} steps")
+print(f"time_to_recover: {scenario['time_to_recover']} steps")
+print(
+    f"accuracy pre-shift {phases['pre_shift']['accuracy']:.3f}"
+    f" -> post-promote {phases['post_promote']['accuracy']:.3f}"
+    " (gate: >= pre - 0.02)"
+)
+print(f"poison outcome:  {scenario['poison_outcome']} (gate: rolled_back)")
+PY
 
 echo "== committed BENCH_compile.json schema + acceptance gate =="
 python - benchmarks/perf/BENCH_compile.json benchmarks/perf/BENCH_infer.json <<'PY'

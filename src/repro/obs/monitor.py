@@ -27,23 +27,51 @@ from .events import RunLogger
 from .flight import record_flight_event
 from .metrics import MetricsRegistry, default_registry
 
-__all__ = ["DRIFT_ALERT_SCHEMA_VERSION", "CoverageAlert", "SelectiveMonitor"]
+__all__ = [
+    "DRIFT_ALERT_SCHEMA_VERSION",
+    "DRIFT_UNIFORM",
+    "DRIFT_CLASS_COLLAPSE",
+    "CoverageAlert",
+    "SelectiveMonitor",
+]
 
 #: Schema version of the structured ``drift_alert`` run-log record.
-#: Downstream consumers (the fab-scale streaming loop, ROADMAP item 5)
-#: key on this to parse alerts across repo versions.
-DRIFT_ALERT_SCHEMA_VERSION = 1
+#: Downstream consumers (the ``repro.stream`` abstention router) key on
+#: this to parse alerts across repo versions.  Version 2 added the
+#: per-class rolling acceptance breakdown and the drift ``kind``
+#: classification.
+DRIFT_ALERT_SCHEMA_VERSION = 2
+
+#: Drift classification carried by version-2 alerts: every class's
+#: acceptance degraded together (noise-style shift) vs. a subset of
+#: classes collapsed while others stayed healthy (the novel-pattern /
+#: single-class-failure signature).
+DRIFT_UNIFORM = "uniform_drift"
+DRIFT_CLASS_COLLAPSE = "class_collapse"
+
+#: Minimum window occupancy before a class participates in the
+#: collapse-vs-uniform classification (tiny samples are noise).
+_CLASSIFY_MIN_SEEN = 8
 
 
 @dataclass
 class CoverageAlert:
-    """Payload handed to alert hooks on a downward threshold crossing."""
+    """Payload handed to alert hooks on a downward threshold crossing.
+
+    ``per_class`` maps the *predicted* class name (the head's argmax,
+    which is all an unlabeled stream has) to its rolling window stats:
+    ``{"seen": n, "accepted": k, "rate": k/n}``.  ``kind`` is the
+    :data:`DRIFT_UNIFORM` / :data:`DRIFT_CLASS_COLLAPSE`
+    classification derived from that breakdown.
+    """
 
     rolling_coverage: float
     min_coverage: float
     window_samples: int
     total_samples: int
     batch_index: int
+    per_class: Optional[Dict[str, Dict[str, float]]] = None
+    kind: str = DRIFT_UNIFORM
 
     def __str__(self) -> str:
         return (
@@ -114,6 +142,9 @@ class SelectiveMonitor:
         self.run_logger = run_logger
 
         self._accepted: Deque[bool] = deque(maxlen=self.window)
+        # Raw-argmax class per window sample, aligned with _accepted,
+        # feeding the per-class acceptance breakdown in alerts.
+        self._window_labels: Deque[int] = deque(maxlen=self.window)
         self._alert_hooks: List[Callable[[CoverageAlert], None]] = []
         self._alert_armed = True
         self.total_samples = 0
@@ -145,6 +176,9 @@ class SelectiveMonitor:
         self.total_samples += int(accepted.size)
         self.total_accepted += int(accepted.sum())
         self._accepted.extend(accepted.tolist())
+        self._window_labels.extend(
+            np.asarray(prediction.raw_labels).astype(int).tolist()
+        )
         self._publish(prediction)
         self._check_alert()
 
@@ -174,6 +208,51 @@ class SelectiveMonitor:
             "alerts_fired": len(self.alerts),
         }
 
+    def per_class_acceptance(self) -> Dict[str, Dict[str, float]]:
+        """Rolling window acceptance broken down by raw predicted class.
+
+        Returns ``{class_name: {"seen", "accepted", "rate"}}``; empty
+        before any data.  Classes are the prediction head's argmax
+        (an unlabeled stream has nothing else), so a novel pattern
+        shows up as collapsed acceptance for whichever known classes it
+        gets argmax-assigned to.
+        """
+        seen: Dict[int, int] = {}
+        accepted: Dict[int, int] = {}
+        for ok, label in zip(self._accepted, self._window_labels):
+            seen[label] = seen.get(label, 0) + 1
+            if ok:
+                accepted[label] = accepted.get(label, 0) + 1
+        out: Dict[str, Dict[str, float]] = {}
+        for label in sorted(seen):
+            n = seen[label]
+            k = accepted.get(label, 0)
+            out[self._class_label(label)] = {
+                "seen": float(n),
+                "accepted": float(k),
+                "rate": k / n,
+            }
+        return out
+
+    @staticmethod
+    def _classify_drift(per_class: Dict[str, Dict[str, float]]) -> str:
+        """Collapsed-subset vs. uniform classification of an alert.
+
+        "Class collapse" means at least one well-sampled class lost
+        (nearly) all acceptance while another well-sampled class is
+        still mostly accepted — the signature of a novel pattern being
+        argmax-funneled into a known class.  Anything else (every class
+        degraded together) is uniform drift.
+        """
+        rates = [
+            stats["rate"]
+            for stats in per_class.values()
+            if stats["seen"] >= _CLASSIFY_MIN_SEEN
+        ]
+        if len(rates) >= 2 and min(rates) <= 0.25 and max(rates) >= 0.75:
+            return DRIFT_CLASS_COLLAPSE
+        return DRIFT_UNIFORM
+
     # -- internals ------------------------------------------------------
     def _class_label(self, index: int) -> str:
         if self.class_names is not None and 0 <= index < len(self.class_names):
@@ -202,16 +281,23 @@ class SelectiveMonitor:
         if coverage < self.min_coverage:
             if self._alert_armed:
                 self._alert_armed = False
+                per_class = self.per_class_acceptance()
                 alert = CoverageAlert(
                     rolling_coverage=coverage,
                     min_coverage=self.min_coverage,
                     window_samples=len(self._accepted),
                     total_samples=self.total_samples,
                     batch_index=self.batches_seen,
+                    per_class=per_class,
+                    kind=self._classify_drift(per_class),
                 )
                 self.alerts.append(alert)
                 self.registry.counter("selective.coverage_alerts").inc()
-                record_flight_event("drift_alert", **alert.__dict__)
+                record_flight_event(
+                    "drift_alert",
+                    alert_schema=DRIFT_ALERT_SCHEMA_VERSION,
+                    **alert.__dict__,
+                )
                 if self.run_logger is not None:
                     # Human-readable "alert" record (stable since PR 1)
                     # plus the machine-readable schema-versioned form
@@ -220,12 +306,13 @@ class SelectiveMonitor:
                     self.run_logger.log(
                         "drift_alert",
                         alert_schema=DRIFT_ALERT_SCHEMA_VERSION,
-                        kind="coverage_collapse",
+                        kind=alert.kind,
                         rolling_coverage=alert.rolling_coverage,
                         min_coverage=alert.min_coverage,
                         window_samples=alert.window_samples,
                         total_samples=alert.total_samples,
                         batch_index=alert.batch_index,
+                        per_class=per_class,
                         abstention_rate=self.abstention_rate,
                         threshold=self.threshold,
                     )

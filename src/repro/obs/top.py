@@ -169,6 +169,25 @@ def render(
         lines.append(
             f"  respawns     {respawns:10.0f}   replica restarts {restarts:.0f}"
         )
+    generation = gauges.get("serve.generation")
+    label_depth = gauges.get("stream.label_queue.depth")
+    if (generation is not None and generation > 1) or label_depth is not None:
+        promotes = counters.get("stream.promotes", 0)
+        rollbacks = counters.get("stream.rollbacks", 0)
+        submitted = counters.get("stream.label_queue.submitted", 0)
+        labeled = counters.get("stream.label_queue.labeled", 0)
+        shed_labels = counters.get(
+            "stream.label_queue.shed.queue_full", 0
+        ) + counters.get("stream.label_queue.shed.budget", 0)
+        lines.append(
+            f"  continual    gen {generation or 1:.0f}"
+            f"  promotes {promotes:.0f}  rollbacks {rollbacks:.0f}"
+        )
+        lines.append(
+            f"    labels:    queued {label_depth or 0:.0f}"
+            f"  submitted {submitted:.0f}  labeled {labeled:.0f}"
+            f"  shed {shed_labels:.0f}"
+        )
     return "\n".join(lines)
 
 
@@ -205,6 +224,13 @@ def _demo_frames() -> List[Dict[str, Any]]:
     registry.counter("compile.cache_hits").inc(198)
     registry.counter("compile.cache_misses").inc(2)
     compile_tiles = registry.counter("compile.threads.tiles")
+    registry.gauge("serve.generation").set(2)
+    registry.counter("stream.promotes").inc(1)
+    registry.counter("stream.rollbacks").inc(1)
+    registry.gauge("stream.label_queue.depth").set(6)
+    registry.counter("stream.label_queue.submitted").inc(64)
+    registry.counter("stream.label_queue.labeled").inc(58)
+    registry.counter("stream.label_queue.shed.budget").inc(3)
     latency = registry.histogram("serve.latency_s")
     frames = []
     for frame in range(3):

@@ -38,6 +38,8 @@ from .backend import InProcessBackend, ReplicaPoolBackend, make_backend, model_i
 from .batcher import (
     SHED_BREAKER_OPEN,
     SHED_BUCKET_EXHAUSTED,
+    SHED_LABEL_BUDGET,
+    SHED_LABEL_QUEUE_FULL,
     SHED_QUEUE_FULL,
     SHED_REASONS,
     MicroBatcher,
@@ -50,6 +52,8 @@ from .engine import (
     ServeConfig,
     ServeEngine,
     ServeResult,
+    SwapFailed,
+    SwapReport,
 )
 from .gateway import (
     Gateway,
@@ -65,8 +69,12 @@ __all__ = [
     "SHED_QUEUE_FULL",
     "SHED_BUCKET_EXHAUSTED",
     "SHED_BREAKER_OPEN",
+    "SHED_LABEL_QUEUE_FULL",
+    "SHED_LABEL_BUDGET",
     "SHED_REASONS",
     "InvalidInput",
+    "SwapFailed",
+    "SwapReport",
     "ResultCache",
     "CachedResult",
     "exact_key",

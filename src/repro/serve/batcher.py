@@ -36,6 +36,8 @@ __all__ = [
     "SHED_QUEUE_FULL",
     "SHED_BUCKET_EXHAUSTED",
     "SHED_BREAKER_OPEN",
+    "SHED_LABEL_QUEUE_FULL",
+    "SHED_LABEL_BUDGET",
     "SHED_REASONS",
 ]
 
@@ -56,7 +58,18 @@ FLUSH_CLOSE = "close"
 SHED_QUEUE_FULL = "queue_full"
 SHED_BUCKET_EXHAUSTED = "bucket_exhausted"
 SHED_BREAKER_OPEN = "breaker_open"
-SHED_REASONS = (SHED_QUEUE_FULL, SHED_BUCKET_EXHAUSTED, SHED_BREAKER_OPEN)
+#: Continual-operations sheds (``repro.stream``): the bounded human
+#: label queue is at capacity, or the per-window labeling budget is
+#: already spent.
+SHED_LABEL_QUEUE_FULL = "label_queue_full"
+SHED_LABEL_BUDGET = "label_budget_exhausted"
+SHED_REASONS = (
+    SHED_QUEUE_FULL,
+    SHED_BUCKET_EXHAUSTED,
+    SHED_BREAKER_OPEN,
+    SHED_LABEL_QUEUE_FULL,
+    SHED_LABEL_BUDGET,
+)
 
 
 class Overloaded(RuntimeError):

@@ -25,7 +25,9 @@ silence so memory is reclaimed between traffic bursts.
 
 from __future__ import annotations
 
+import copy
 import logging
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -43,6 +45,8 @@ from ..obs.timing import TimerTree
 from ..obs.top import BREAKER_STATE_CODES
 from ..obs.trace import current_tracer
 from ..resilience.breaker import CircuitBreaker
+from ..resilience.chaos import chaos_point
+from ..resilience.checkpoint import IntegrityError, validate_checkpoint
 from .backend import make_backend, model_infer_fn
 from .batcher import SHED_BREAKER_OPEN, MicroBatcher, Overloaded
 from .cache import ResultCache
@@ -52,6 +56,8 @@ __all__ = [
     "ServeResult",
     "PendingResult",
     "ServeEngine",
+    "SwapFailed",
+    "SwapReport",
     "Overloaded",
     "InvalidInput",
 ]
@@ -66,6 +72,30 @@ class InvalidInput(ValueError):
     grid must never produce a cached (or any) prediction.  Counted in
     ``serve.rejected_total``.
     """
+
+
+class SwapFailed(RuntimeError):
+    """:meth:`ServeEngine.swap_model` aborted before the commit point.
+
+    The engine is untouched: the previous generation keeps serving,
+    its cache entries stay valid, and any half-built candidate backend
+    has been torn down.  Counted in ``serve.swap_failures_total``.
+    """
+
+
+@dataclass
+class SwapReport:
+    """Outcome of a committed :meth:`ServeEngine.swap_model`."""
+
+    #: Generation serving after the swap (monotonically increasing).
+    generation: int
+    #: Checkpoint directory the new weights were loaded from.
+    checkpoint: str
+    #: Epoch recorded in the checkpoint's ``state.json``.
+    epoch: int
+    #: Whether every old-generation batch finished before the old
+    #: backend was closed (False only on drain timeout).
+    drained: bool
 
 
 @dataclass
@@ -171,6 +201,12 @@ class ServeResult:
     probabilities: np.ndarray
     cached: bool = False
     latency_s: float = 0.0
+    #: Model generation that produced this result (1 = the model the
+    #: engine was constructed with; incremented by each committed
+    #: :meth:`ServeEngine.swap_model`).  Cache hits carry the current
+    #: generation — the cache is invalidated at every swap commit, so
+    #: a cached entry is always the serving generation's output.
+    generation: int = 1
 
 
 class PendingResult:
@@ -222,6 +258,31 @@ class PendingResult:
         if self._error is not None:
             raise self._error
         return self._result
+
+
+class _Generation:
+    """One immutable serving generation: model + backend + breakers.
+
+    The engine holds exactly one *current* generation pointer; a swap
+    builds a complete sibling (blue-green) and flips the pointer under
+    the generation condition.  ``active`` counts lane leases — batches
+    and telemetry polls in flight against this generation's backend —
+    so the swap can drain the old generation before closing it.
+    """
+
+    __slots__ = (
+        "gen_id", "model", "backend", "fallback_infer", "breakers",
+        "threshold", "active",
+    )
+
+    def __init__(self, gen_id, model, backend, fallback_infer, breakers, threshold):
+        self.gen_id = gen_id
+        self.model = model
+        self.backend = backend
+        self.fallback_infer = fallback_infer
+        self.breakers = breakers
+        self.threshold = threshold
+        self.active = 0
 
 
 class _Request:
@@ -280,31 +341,17 @@ class ServeEngine:
         tau = self.config.threshold
         if tau is None:
             tau = float(getattr(model, "threshold", 0.0))
-        self.threshold = float(tau)
 
         #: Fleet-wide telemetry: replica workers publish mergeable
         #: snapshots here (polled on lane idle ticks and runner exit);
         #: :meth:`telemetry_snapshot` merges them with this process.
         self.fleet = FleetAggregator()
-        self._backend = backend if backend is not None else make_backend(
-            model,
-            self.config.num_replicas,
-            self.config.max_batch_size,
-            input_hw,
-            num_classes,
-            timeout=self.config.worker_timeout_s,
-            restarts=self.config.replica_restarts,
-            registry=self._registry,
-            aggregator=self.fleet,
-            compile_backend=self.config.compile_backend,
-            compile_threads=self.config.compile_threads,
+        initial_backend = (
+            backend if backend is not None else self._build_backend(model)
         )
-        # Degradation ladder: replica lane → (breaker opens) →
-        # in-process fallback on the parent's copy of the model.  With
-        # an injected backend and no model there is no fallback — lane
-        # errors then fail their batches, matching the lane-survival
-        # contract.
-        self._fallback_infer = None if model is None else model_infer_fn(model)
+        # An injected backend cannot be rebuilt, so swap_model() is
+        # unavailable for it (there is no model to clone either).
+        self._swappable = backend is None and model is not None
         self._fallback_lock = threading.Lock()
         self.cache: Optional[ResultCache] = None
         if self.config.cache_bytes > 0:
@@ -337,43 +384,262 @@ class ServeEngine:
         self._breaker_opened = reg.counter("serve.breaker.open")
         self._accepted_total = reg.counter("serve.accepted_total")
         self._abstained_total = reg.counter("serve.abstained_total")
+        self._swaps = reg.counter("serve.swaps_total")
+        self._swap_failures = reg.counter("serve.swap_failures_total")
+        self._generation_gauge = reg.gauge("serve.generation")
         self._flush_counters = {
             reason: reg.counter(f"serve.batch.flush.{reason}")
             for reason in ("size", "deadline", "close")
         }
+        num_lanes = initial_backend.num_lanes
         # Per-lane breaker state, encoded per obs.top.BREAKER_STATE_CODES
         # (0 closed / 1 half_open / 2 open) so the ops console and
         # fleet-merged snapshots can show lane health.
         self._breaker_gauges = tuple(
             reg.gauge(f"serve.lane{lane}.breaker_state")
-            for lane in range(self._backend.num_lanes)
+            for lane in range(num_lanes)
         )
 
-        #: One breaker per lane, gating its backend calls.
-        self.breakers: Tuple[CircuitBreaker, ...] = tuple(
-            CircuitBreaker(
-                failure_threshold=self.config.breaker_failures,
-                reset_timeout_s=self.config.breaker_reset_s,
-                on_open=self._make_breaker_open_hook(lane),
-            )
-            for lane in range(self._backend.num_lanes)
+        # The current serving generation.  Swaps build a sibling and
+        # flip this pointer under _gen_cond (which also tracks lane
+        # leases for draining the outgoing generation).
+        self._gen_cond = threading.Condition()
+        self._swap_lock = threading.Lock()
+        self._generation = _Generation(
+            gen_id=1,
+            model=model,
+            backend=initial_backend,
+            fallback_infer=None if model is None else model_infer_fn(model),
+            breakers=self._make_breakers(num_lanes),
+            threshold=float(tau),
         )
+        self._generation_gauge.set(1)
 
         #: One span tree per lane; TimerTree is single-threaded.
         self.timers: Tuple[TimerTree, ...] = tuple(
-            TimerTree() for _ in range(self._backend.num_lanes)
+            TimerTree() for _ in range(num_lanes)
         )
         self._idle_lock = threading.Lock()
         self._reclaimed = True  # nothing to free before the first batch
         self._closed = False
         self._runners: List[threading.Thread] = []
-        for lane in range(self._backend.num_lanes):
+        for lane in range(num_lanes):
             thread = threading.Thread(
                 target=self._run_lane, args=(lane,), daemon=True,
                 name=f"serve-lane{lane}",
             )
             thread.start()
             self._runners.append(thread)
+
+    # ------------------------------------------------------------------
+    # Generations
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """Acceptance threshold of the *current* generation."""
+        return self._generation.threshold
+
+    @property
+    def generation(self) -> int:
+        """Identifier of the serving generation (starts at 1)."""
+        return self._generation.gen_id
+
+    @property
+    def _backend(self):
+        """The current generation's backend (tests/ops poke at this)."""
+        return self._generation.backend
+
+    @property
+    def breakers(self) -> Tuple[CircuitBreaker, ...]:
+        """Per-lane breakers of the current generation."""
+        return self._generation.breakers
+
+    def _build_backend(self, model):
+        return make_backend(
+            model,
+            self.config.num_replicas,
+            self.config.max_batch_size,
+            self._input_hw,
+            self._num_classes,
+            timeout=self.config.worker_timeout_s,
+            restarts=self.config.replica_restarts,
+            registry=self._registry,
+            aggregator=self.fleet,
+            compile_backend=self.config.compile_backend,
+            compile_threads=self.config.compile_threads,
+        )
+
+    def _make_breakers(self, num_lanes: int) -> Tuple[CircuitBreaker, ...]:
+        """Fresh per-lane breakers (each generation starts closed: the
+        old backend's failures are no evidence against the new one)."""
+        return tuple(
+            CircuitBreaker(
+                failure_threshold=self.config.breaker_failures,
+                reset_timeout_s=self.config.breaker_reset_s,
+                on_open=self._make_breaker_open_hook(lane),
+            )
+            for lane in range(num_lanes)
+        )
+
+    def _lease(self) -> _Generation:
+        """Pin the current generation for one lane operation."""
+        with self._gen_cond:
+            gen = self._generation
+            gen.active += 1
+            return gen
+
+    def _release(self, gen: _Generation) -> None:
+        with self._gen_cond:
+            gen.active -= 1
+            self._gen_cond.notify_all()
+
+    def swap_model(
+        self,
+        checkpoint: str,
+        threshold: Optional[float] = None,
+        drain_timeout_s: float = 30.0,
+    ) -> SwapReport:
+        """Atomically replace the serving model from a checkpoint dir.
+
+        Blue-green sequence, each stage a chaos fault point:
+
+        1. ``serve.swap.verify`` — CRC-verify the checkpoint manifest
+           and ``state.json`` (:func:`~repro.resilience.checkpoint.
+           validate_checkpoint`) *before* anything is built.
+        2. ``serve.swap.load`` — clone the current model and load the
+           candidate weights into the clone (the serving model is
+           never mutated).
+        3. ``serve.swap.build`` — build a complete sibling backend
+           (same replica layout) and probe every lane live with a
+           zero wafer.
+        4. ``serve.swap.commit`` — flip the generation pointer.  The
+           flip is one reference assignment: every request either ran
+           entirely on the old generation or runs entirely on the new
+           one, and ``ServeResult.generation`` says which.
+
+        After the flip the result cache is invalidated (old-generation
+        outputs must not be served as new-generation answers), the old
+        generation is drained (in-flight batches finish on the weights
+        they started with), and its backend is closed.
+
+        A failure — or an injected crash — at any point *before* the
+        commit leaves the old generation serving, untouched; the
+        half-built candidate is torn down and :class:`SwapFailed`
+        raised.  ``threshold`` overrides the acceptance threshold for
+        the new generation (default: keep the current one).
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if not self._swappable:
+            raise SwapFailed(
+                "engine was built on an injected backend (or without a "
+                "model); there is nothing to rebuild for a swap"
+            )
+        with self._swap_lock:
+            current = self._generation
+            next_id = current.gen_id + 1
+            checkpoint = os.fspath(checkpoint)
+            try:
+                chaos_point("serve.swap.verify", path=checkpoint, generation=next_id)
+                try:
+                    state = validate_checkpoint(checkpoint)
+                except IntegrityError as exc:
+                    raise SwapFailed(
+                        f"checkpoint {checkpoint} failed verification: {exc}"
+                    ) from exc
+
+                chaos_point("serve.swap.load", path=checkpoint, generation=next_id)
+                from ..nn.serialization import load_model
+
+                candidate = copy.deepcopy(current.model)
+                try:
+                    load_model(candidate, os.path.join(checkpoint, "model.npz"))
+                except (IntegrityError, FileNotFoundError, ValueError, KeyError) as exc:
+                    raise SwapFailed(
+                        f"checkpoint {checkpoint} weights unloadable: {exc}"
+                    ) from exc
+
+                chaos_point("serve.swap.build", path=checkpoint, generation=next_id)
+                backend = self._build_backend(candidate)
+                try:
+                    if backend.num_lanes != current.backend.num_lanes:
+                        raise SwapFailed(
+                            f"candidate backend has {backend.num_lanes} lanes, "
+                            f"serving backend has {current.backend.num_lanes}"
+                        )
+                    if self._input_hw is not None:
+                        h, w = self._input_hw
+                        probe = np.zeros((1, 1, h, w), dtype=np.float32)
+                        # Lanes are untouched by runners until the flip,
+                        # so probing from this thread is safe; a dead
+                        # replica surfaces here, not post-commit.
+                        for lane in range(backend.num_lanes):
+                            backend.infer(lane, probe)
+                except BaseException:
+                    backend.close()
+                    raise
+                new_gen = _Generation(
+                    gen_id=next_id,
+                    model=candidate,
+                    backend=backend,
+                    fallback_infer=model_infer_fn(candidate),
+                    breakers=self._make_breakers(backend.num_lanes),
+                    threshold=current.threshold if threshold is None
+                    else float(threshold),
+                )
+
+                chaos_point("serve.swap.commit", path=checkpoint, generation=next_id)
+            except BaseException as exc:
+                self._swap_failures.inc()
+                record_flight_event(
+                    "model_swap_failed", checkpoint=checkpoint,
+                    generation=next_id, error=repr(exc),
+                )
+                if isinstance(exc, SwapFailed):
+                    raise
+                raise SwapFailed(f"swap aborted: {exc!r}") from exc
+
+            # -- commit: one pointer flip -------------------------------
+            with self._gen_cond:
+                self._generation = new_gen
+            if self.cache is not None:
+                self.cache.clear()
+                self._cache_bytes_gauge.set(self.cache.nbytes)
+            self._swaps.inc()
+            self._generation_gauge.set(next_id)
+            for lane in range(new_gen.backend.num_lanes):
+                self._refresh_breaker_gauge(lane)
+            record_flight_event(
+                "model_swap", checkpoint=checkpoint, generation=next_id,
+                epoch=int(state.get("epoch", -1)),
+            )
+            logger.info(
+                "model swap committed: generation %d from %s", next_id, checkpoint
+            )
+
+            # -- drain: in-flight work finishes on the old generation ---
+            deadline = time.monotonic() + drain_timeout_s
+            drained = True
+            with self._gen_cond:
+                while current.active > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        drained = False
+                        break
+                    self._gen_cond.wait(remaining)
+            if not drained:
+                logger.warning(
+                    "generation %d still had %d active lease(s) after "
+                    "%.1fs drain; closing its backend anyway",
+                    current.gen_id, current.active, drain_timeout_s,
+                )
+            current.backend.close()
+            return SwapReport(
+                generation=next_id,
+                checkpoint=checkpoint,
+                epoch=int(state.get("epoch", -1)),
+                drained=drained,
+            )
 
     # ------------------------------------------------------------------
     # Client API
@@ -418,7 +684,7 @@ class ServeEngine:
                 latency = time.monotonic() - started
                 future._set(self._finish(
                     entry.probabilities, entry.score,
-                    cached=True, latency_s=latency,
+                    cached=True, latency_s=latency, gen=self._generation,
                 ))
                 self._latency.observe(time.monotonic() - started)
                 if root is not None:
@@ -488,7 +754,7 @@ class ServeEngine:
         self._batcher.close()
         for thread in self._runners:
             thread.join(timeout=self.config.worker_timeout_s)
-        self._backend.close()
+        self._generation.backend.close()
 
     def __enter__(self) -> "ServeEngine":
         return self
@@ -512,10 +778,15 @@ class ServeEngine:
             raise InvalidInput("wafer grid contains non-finite (NaN/Inf) cells")
 
     def _finish(
-        self, probabilities: np.ndarray, score: float, cached: bool, latency_s: float
+        self,
+        probabilities: np.ndarray,
+        score: float,
+        cached: bool,
+        latency_s: float,
+        gen: _Generation,
     ) -> ServeResult:
         raw_label = int(np.argmax(probabilities))
-        accepted = bool(score >= self.threshold)
+        accepted = bool(score >= gen.threshold)
         (self._accepted_total if accepted else self._abstained_total).inc()
         return ServeResult(
             label=raw_label if accepted else ABSTAIN,
@@ -525,6 +796,7 @@ class ServeEngine:
             probabilities=np.array(probabilities, copy=True),
             cached=cached,
             latency_s=latency_s,
+            generation=gen.gen_id,
         )
 
     def _run_lane(self, lane: int) -> None:
@@ -543,22 +815,37 @@ class ServeEngine:
                 # Lanes are single-threaded over their pipes, so the
                 # telemetry poll rides the same runner thread: on every
                 # idle tick and once more on the way out, so snapshots
-                # are fresh after close() returns.
-                self._poll_lane_telemetry(lane)
-                if self._batcher.closed:
-                    return
-                self._idle_reclaim()
+                # are fresh after close() returns.  The generation is
+                # leased for the poll — a concurrent swap must not close
+                # a backend whose pipe a lane is still reading.
+                gen = self._lease()
+                try:
+                    self._poll_lane_telemetry(lane, gen)
+                    if self._batcher.closed:
+                        return
+                    self._idle_reclaim(gen)
+                finally:
+                    self._release(gen)
                 continue
             batch, flush_reason = flushed
             self._queue_depth.set(self._batcher.depth)
+            # Lease once per batch: the whole batch runs on whatever
+            # generation is current at pull time, even if a swap
+            # commits mid-infer (in-flight requests finish on the old
+            # generation; the swap drains on this lease).
+            gen = self._lease()
             try:
-                self._process(lane, tree, batch, staging, flush_reason)
+                self._process(lane, tree, batch, staging, flush_reason, gen)
             except BaseException as error:  # keep the lane alive
                 self._errors.inc()
                 for request in batch:
                     request.future._fail(error)
+            finally:
+                self._release(gen)
 
-    def _process(self, lane: int, tree: TimerTree, batch, staging, flush_reason) -> None:
+    def _process(
+        self, lane: int, tree: TimerTree, batch, staging, flush_reason, gen: _Generation
+    ) -> None:
         batch_started = time.monotonic()
         # One probe per batch; `request.trace` is only ever non-None
         # when a tracer was armed at submit time.
@@ -594,17 +881,24 @@ class ServeEngine:
                     inputs[i] = request.tensor
             with tree.span("infer"):
                 compute_started = time.monotonic()
-                probabilities, scores = self._infer(lane, inputs, batch_span)
+                probabilities, scores = self._infer(lane, inputs, batch_span, gen)
                 compute_s = time.monotonic() - compute_started
             with tree.span("complete"):
                 completed = time.monotonic()
+                # A swap that committed while this batch was in flight
+                # cleared the cache for the *new* generation; writing
+                # this (old-generation) batch back would repollute it.
+                cacheable = (
+                    self.cache is not None and gen is self._generation
+                )
                 for i, request in enumerate(batch):
                     score = float(scores[i])
-                    if self.cache is not None and request.key is not None:
+                    if cacheable and request.key is not None:
                         self.cache.put(request.key, probabilities[i], score)
                     latency = completed - request.submitted_at
                     request.future._set(self._finish(
-                        probabilities[i], score, cached=False, latency_s=latency,
+                        probabilities[i], score, cached=False,
+                        latency_s=latency, gen=gen,
                     ))
                     self._latency.observe(latency)
                     if request.trace is not None and tracer is not None:
@@ -630,7 +924,7 @@ class ServeEngine:
             self._reclaimed = False
 
     def _infer(
-        self, lane: int, inputs: np.ndarray, batch_span=None
+        self, lane: int, inputs: np.ndarray, batch_span, gen: _Generation
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Breaker-gated backend call with in-process degradation.
 
@@ -648,23 +942,23 @@ class ServeEngine:
         ``accepts_trace``, its context rides the task envelope so the
         replica's forward pass joins the request's trace.
         """
-        breaker = self.breakers[lane]
+        breaker = gen.breakers[lane]
         if breaker.allow():
             try:
                 if batch_span is not None and getattr(
-                    self._backend, "accepts_trace", False
+                    gen.backend, "accepts_trace", False
                 ):
-                    result = self._backend.infer(
+                    result = gen.backend.infer(
                         lane, inputs, trace_ctx=batch_span.context
                     )
                 else:
-                    result = self._backend.infer(lane, inputs)
+                    result = gen.backend.infer(lane, inputs)
             except Exception as error:
                 breaker.record_failure()
                 self._refresh_breaker_gauge(lane)
                 if batch_span is not None:
                     batch_span.event("backend_failure", error=repr(error))
-                if self._fallback_infer is None:
+                if gen.fallback_infer is None:
                     raise
                 logger.warning(
                     "lane %d backend failed (%s); serving in-process",
@@ -674,7 +968,7 @@ class ServeEngine:
                 breaker.record_success()
                 self._refresh_breaker_gauge(lane)
                 return result
-        elif self._fallback_infer is None:
+        elif gen.fallback_infer is None:
             # Typed shed: the lane's circuit is open and there is no
             # model to degrade to.  Overloaded (a RuntimeError) with a
             # machine-readable reason lets front doors map this onto
@@ -690,7 +984,7 @@ class ServeEngine:
             batch_span.event("fallback", lane=lane)
         # predict_batched shares inference scratch; one lane at a time.
         with self._fallback_lock:
-            return self._fallback_infer(inputs)
+            return gen.fallback_infer(inputs)
 
     def _make_breaker_open_hook(self, lane: int):
         """Breaker-open side effects: counter, lane gauge, flight dump."""
@@ -704,17 +998,18 @@ class ServeEngine:
         return hook
 
     def _refresh_breaker_gauge(self, lane: int) -> None:
-        self._breaker_gauges[lane].set(
-            BREAKER_STATE_CODES.get(self.breakers[lane].state, -1)
-        )
+        if lane < len(self._breaker_gauges):
+            self._breaker_gauges[lane].set(
+                BREAKER_STATE_CODES.get(self.breakers[lane].state, -1)
+            )
 
-    def _poll_lane_telemetry(self, lane: int) -> None:
+    def _poll_lane_telemetry(self, lane: int, gen: _Generation) -> None:
         """Pull one replica's metric snapshot into the fleet aggregator.
 
         Only meaningful for backends with per-lane worker processes;
         in-process and injected backends simply lack the hook.
         """
-        poll = getattr(self._backend, "poll_telemetry", None)
+        poll = getattr(gen.backend, "poll_telemetry", None)
         if poll is not None:
             poll(lane)
 
@@ -733,13 +1028,13 @@ class ServeEngine:
         """:meth:`telemetry_snapshot` in registry-snapshot (summary) form."""
         return summarize_snapshot(self.telemetry_snapshot())
 
-    def _idle_reclaim(self) -> None:
+    def _idle_reclaim(self, gen: _Generation) -> None:
         """Free inference scratch once per idle period (all lanes race)."""
         with self._idle_lock:
             if self._reclaimed:
                 return
             self._reclaimed = True
-        self._backend.reclaim()
+        gen.backend.reclaim()
         self._publish_memory_gauges()
 
     def _publish_memory_gauges(self) -> None:

@@ -1,0 +1,229 @@
+"""Bounded human-labeling queue with budget accounting and an oracle.
+
+When the selective model abstains (PAPER.md: rejected wafers "are
+passed on for manual classification"), the wafer goes to a *human*
+label queue.  Humans are a scarce, slow, imperfect resource, so the
+queue is explicitly bounded three ways:
+
+* **capacity** — at most ``capacity`` wafers waiting at once; beyond
+  that, :class:`~repro.serve.batcher.Overloaded` with reason
+  :data:`~repro.serve.batcher.SHED_LABEL_QUEUE_FULL`;
+* **budget** — at most ``budget_per_window`` labels started per
+  ``window_steps``-step accounting window
+  (:data:`~repro.serve.batcher.SHED_LABEL_BUDGET` beyond that);
+* **latency** — a label is not available until
+  ``labeler.latency_steps`` stream steps after submission.
+
+The oracle labeler is seeded per wafer id, so a replayed run yields
+identical labels regardless of queue interleaving; ``accuracy`` < 1
+models human error by swapping the label for a uniformly random wrong
+class.  Novel wafers (:data:`~repro.stream.simulator.NOVEL_LABEL`)
+come back labeled ``None`` — a human says "new pattern", not a class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry, default_registry
+from ..serve.batcher import SHED_LABEL_BUDGET, SHED_LABEL_QUEUE_FULL, Overloaded
+from .simulator import NOVEL_LABEL
+
+__all__ = ["OracleLabeler", "LabeledWafer", "HumanLabelQueue"]
+
+
+@dataclass
+class LabeledWafer:
+    """A wafer that came back from the (simulated) human labeler."""
+
+    wafer_id: int
+    grid: np.ndarray
+    #: Class index, or ``None`` when the human flagged a novel pattern.
+    label: Optional[int]
+    #: True label as known to the simulator (for accounting only —
+    #: consumers must train on ``label``, the possibly-wrong human one).
+    true_label: int
+    submitted_step: int
+    labeled_step: int
+
+
+class OracleLabeler:
+    """Deterministic simulated human: seeded per wafer id.
+
+    Parameters
+    ----------
+    num_classes:
+        Size of the known label vocabulary.
+    accuracy:
+        Probability the returned label equals the true label; errors
+        are uniform over the remaining classes.
+    latency_steps:
+        Stream steps between submission and label availability.
+    seed:
+        Base seed; the per-wafer rng is ``default_rng((seed, wafer_id))``
+        so labels are independent of queue order and replay-stable.
+    """
+
+    def __init__(self, num_classes: int, accuracy: float = 1.0,
+                 latency_steps: int = 1, seed: int = 0) -> None:
+        if num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+        if latency_steps < 0:
+            raise ValueError("latency_steps must be >= 0")
+        self.num_classes = int(num_classes)
+        self.accuracy = float(accuracy)
+        self.latency_steps = int(latency_steps)
+        self.seed = int(seed)
+
+    def label(self, wafer_id: int, true_label: int) -> Optional[int]:
+        """Produce the human's label for a wafer (pure per wafer id)."""
+        if true_label == NOVEL_LABEL:
+            return None
+        rng = np.random.default_rng((self.seed, int(wafer_id)))
+        if self.accuracy >= 1.0 or rng.random() < self.accuracy:
+            return int(true_label)
+        wrong = [c for c in range(self.num_classes) if c != true_label]
+        return int(wrong[int(rng.integers(0, len(wrong)))])
+
+
+class _Pending:
+    __slots__ = ("wafer_id", "grid", "true_label", "submitted_step", "ready_step")
+
+    def __init__(self, wafer_id: int, grid: np.ndarray, true_label: int,
+                 submitted_step: int, ready_step: int) -> None:
+        self.wafer_id = wafer_id
+        self.grid = grid
+        self.true_label = true_label
+        self.submitted_step = submitted_step
+        self.ready_step = ready_step
+
+
+class HumanLabelQueue:
+    """Bounded queue of abstained wafers awaiting human labels.
+
+    ``submit`` enforces capacity and the per-window label budget (typed
+    :class:`Overloaded` on violation); ``poll(step)`` returns every
+    wafer whose simulated labeling latency has elapsed by ``step``.
+    """
+
+    def __init__(
+        self,
+        labeler: OracleLabeler,
+        capacity: int = 256,
+        budget_per_window: int = 64,
+        window_steps: int = 10,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if budget_per_window < 1:
+            raise ValueError("budget_per_window must be >= 1")
+        if window_steps < 1:
+            raise ValueError("window_steps must be >= 1")
+        self.labeler = labeler
+        self.capacity = int(capacity)
+        self.budget_per_window = int(budget_per_window)
+        self.window_steps = int(window_steps)
+        self.registry = registry if registry is not None else default_registry()
+        self._pending: Deque[_Pending] = deque()
+        self._window_spend: Dict[int, int] = {}
+        self.total_submitted = 0
+        self.total_labeled = 0
+        self.total_shed_full = 0
+        self.total_shed_budget = 0
+        self._depth_gauge = self.registry.gauge("stream.label_queue.depth")
+        self._submitted_counter = self.registry.counter("stream.label_queue.submitted")
+        self._labeled_counter = self.registry.counter("stream.label_queue.labeled")
+        self._shed_counters = {
+            SHED_LABEL_QUEUE_FULL: self.registry.counter(
+                "stream.label_queue.shed.queue_full"
+            ),
+            SHED_LABEL_BUDGET: self.registry.counter(
+                "stream.label_queue.shed.budget"
+            ),
+        }
+
+    # -- submission -----------------------------------------------------
+    def submit(self, wafer_id: int, grid: np.ndarray, true_label: int,
+               step: int) -> None:
+        """Queue a wafer for labeling at stream step ``step``.
+
+        Raises :class:`Overloaded` with a typed reason when the queue
+        is at capacity or this window's label budget is spent.
+        """
+        if len(self._pending) >= self.capacity:
+            self.total_shed_full += 1
+            self._shed_counters[SHED_LABEL_QUEUE_FULL].inc()
+            raise Overloaded(
+                f"label queue at capacity ({self.capacity})",
+                reason=SHED_LABEL_QUEUE_FULL,
+            )
+        window = step // self.window_steps
+        if self._window_spend.get(window, 0) >= self.budget_per_window:
+            self.total_shed_budget += 1
+            self._shed_counters[SHED_LABEL_BUDGET].inc()
+            raise Overloaded(
+                f"label budget ({self.budget_per_window}/{self.window_steps} steps) "
+                f"spent for window {window}",
+                reason=SHED_LABEL_BUDGET,
+            )
+        self._window_spend[window] = self._window_spend.get(window, 0) + 1
+        self._pending.append(_Pending(
+            wafer_id=int(wafer_id),
+            grid=np.asarray(grid),
+            true_label=int(true_label),
+            submitted_step=int(step),
+            ready_step=int(step) + self.labeler.latency_steps,
+        ))
+        self.total_submitted += 1
+        self._submitted_counter.inc()
+        self._depth_gauge.set(len(self._pending))
+
+    # -- retrieval ------------------------------------------------------
+    def poll(self, step: int) -> List[LabeledWafer]:
+        """Collect every wafer whose label is ready by ``step``."""
+        ready: List[LabeledWafer] = []
+        while self._pending and self._pending[0].ready_step <= step:
+            item = self._pending.popleft()
+            ready.append(LabeledWafer(
+                wafer_id=item.wafer_id,
+                grid=item.grid,
+                label=self.labeler.label(item.wafer_id, item.true_label),
+                true_label=item.true_label,
+                submitted_step=item.submitted_step,
+                labeled_step=int(step),
+            ))
+        if ready:
+            self.total_labeled += len(ready)
+            self._labeled_counter.inc(len(ready))
+            self._depth_gauge.set(len(self._pending))
+        return ready
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    def budget_remaining(self, step: int) -> int:
+        """Labels still affordable in ``step``'s accounting window."""
+        window = step // self.window_steps
+        return max(0, self.budget_per_window - self._window_spend.get(window, 0))
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "depth": self.depth,
+            "capacity": self.capacity,
+            "budget_per_window": self.budget_per_window,
+            "window_steps": self.window_steps,
+            "total_submitted": self.total_submitted,
+            "total_labeled": self.total_labeled,
+            "total_shed_queue_full": self.total_shed_full,
+            "total_shed_budget": self.total_shed_budget,
+            "labels_spent_by_window": dict(sorted(self._window_spend.items())),
+        }

@@ -1,0 +1,150 @@
+"""Abstention router: the triage step between serving and humans.
+
+For each stream step the router submits the batch to the
+:class:`~repro.serve.engine.ServeEngine`, splits results into
+*accepted* (the model committed to a class) and *abstained* (the
+selection head rejected the wafer), and routes abstentions to the
+bounded :class:`~repro.stream.queue.HumanLabelQueue`.  Wafers the
+queue sheds (capacity or budget) are *lost* — exactly the operational
+cost the label budget models — and counted by typed shed reason.
+
+Every step is also folded into a :class:`~repro.obs.monitor.
+SelectiveMonitor`, whose schema-v2 drift alerts (per-class acceptance
+breakdown + ``uniform_drift`` / ``class_collapse`` kind) are what the
+continual-operations loop keys retraining on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.selective import ABSTAIN, SelectivePrediction
+from ..obs.monitor import CoverageAlert, SelectiveMonitor
+from ..serve.batcher import Overloaded
+from ..serve.engine import ServeEngine, ServeResult
+from .queue import HumanLabelQueue
+from .simulator import NOVEL_LABEL, StreamBatch
+
+__all__ = ["StepOutcome", "AbstentionRouter"]
+
+
+@dataclass
+class StepOutcome:
+    """Everything that happened to one stream step's batch."""
+
+    step: int
+    kind: str
+    generation: int
+    results: List[ServeResult]
+    accepted: int
+    abstained: int
+    queued: int
+    shed: Dict[str, int]
+    alerts: List[CoverageAlert] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        total = self.accepted + self.abstained
+        return self.accepted / total if total else 0.0
+
+    def accuracy_on_accepted(self, labels: np.ndarray) -> Optional[float]:
+        """Accuracy over accepted wafers (novel wafers are always
+        wrong for the model — there is no correct known class).
+        Returns ``None`` when nothing was accepted."""
+        correct = 0
+        total = 0
+        for result, label in zip(self.results, labels):
+            if not result.accepted:
+                continue
+            total += 1
+            if int(label) != NOVEL_LABEL and result.label == int(label):
+                correct += 1
+        return correct / total if total else None
+
+
+class AbstentionRouter:
+    """Route each step's batch: accept → downstream, abstain → humans."""
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        queue: HumanLabelQueue,
+        monitor: Optional[SelectiveMonitor] = None,
+    ) -> None:
+        self.engine = engine
+        self.queue = queue
+        self.monitor = monitor
+        self.total_accepted = 0
+        self.total_abstained = 0
+        self.total_queued = 0
+        self.total_shed: Dict[str, int] = {}
+
+    def route(self, batch: StreamBatch) -> StepOutcome:
+        """Serve one stream batch and route its abstentions."""
+        results = self.engine.classify_many(list(batch.grids))
+        alerts: List[CoverageAlert] = []
+        if self.monitor is not None:
+            before = len(self.monitor.alerts)
+            self.monitor.observe(_as_prediction(results))
+            alerts = self.monitor.alerts[before:]
+        queued = 0
+        shed: Dict[str, int] = {}
+        accepted = 0
+        base_id = batch.step * len(results)
+        for offset, result in enumerate(results):
+            if result.accepted:
+                accepted += 1
+                continue
+            try:
+                self.queue.submit(
+                    wafer_id=base_id + offset,
+                    grid=batch.grids[offset],
+                    true_label=int(batch.labels[offset]),
+                    step=batch.step,
+                )
+                queued += 1
+            except Overloaded as exc:
+                shed[exc.reason] = shed.get(exc.reason, 0) + 1
+        abstained = len(results) - accepted
+        self.total_accepted += accepted
+        self.total_abstained += abstained
+        self.total_queued += queued
+        for reason, count in shed.items():
+            self.total_shed[reason] = self.total_shed.get(reason, 0) + count
+        return StepOutcome(
+            step=batch.step,
+            kind=batch.kind,
+            generation=max(r.generation for r in results) if results else 0,
+            results=results,
+            accepted=accepted,
+            abstained=abstained,
+            queued=queued,
+            shed=shed,
+            alerts=alerts,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "total_accepted": self.total_accepted,
+            "total_abstained": self.total_abstained,
+            "total_queued": self.total_queued,
+            "total_shed": dict(self.total_shed),
+        }
+
+
+def _as_prediction(results: List[ServeResult]) -> SelectivePrediction:
+    """Reassemble engine results into the monitor's input shape."""
+    accepted = np.asarray([r.accepted for r in results], dtype=bool)
+    raw = np.asarray([r.raw_label for r in results], dtype=np.int64)
+    return SelectivePrediction(
+        labels=np.where(accepted, raw, ABSTAIN),
+        raw_labels=raw,
+        selection_scores=np.asarray(
+            [r.selection_score for r in results], dtype=np.float32
+        ),
+        accepted=accepted,
+        probabilities=np.stack([r.probabilities for r in results]),
+    )

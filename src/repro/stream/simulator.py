@@ -1,0 +1,305 @@
+"""Seeded, replayable wafer-stream simulator with scheduled shifts.
+
+The fab deployment story (PAPER.md Sec. I) is a *stream*: wafers
+arrive continuously and the input distribution moves under the model's
+feet.  :class:`WaferStream` scripts that movement as a sequence of
+:class:`EpisodeSpec` episodes:
+
+* ``clean`` — in-distribution wafers, the training distribution;
+* ``noise`` — the concept-shift mechanics of
+  :func:`repro.experiments.concept_shift.make_shifted_dataset`:
+  background failure rates pushed into the ambiguity zone between the
+  None class and the Random class, plus optional two-pattern wafers;
+* ``novel`` — a fraction of wafers replaced with patterns from
+  *outside* the training vocabulary
+  (:mod:`repro.data.patterns.novel`: Grid / Half-Moon /
+  Checkerboard), tagged :data:`NOVEL_LABEL` — no in-vocabulary ground
+  truth exists for them.
+
+Determinism contract: every step's batch is generated from
+``(config.seed, step)`` alone, so ``batch(step)`` is pure — any run
+(or partial replay) of the same configured stream produces
+byte-identical wafers in any order.  Like ``serve.loadgen`` traces,
+the episode trace serializes to JSONL with a content digest
+(:func:`stream_trace_digest`) so two runs can prove they saw the same
+stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.patterns import CLASS_NAMES, make_generator
+from ..data.patterns.novel import NOVEL_PATTERN_CLASSES, make_novel_generator
+
+__all__ = [
+    "NOVEL_LABEL",
+    "TRACE_SCHEMA_VERSION",
+    "EpisodeSpec",
+    "StreamBatch",
+    "StreamConfig",
+    "WaferStream",
+    "save_stream_trace",
+    "load_stream_trace",
+    "stream_trace_digest",
+]
+
+#: Ground-truth marker for wafers drawn from a novel (out-of-vocabulary)
+#: pattern: there is no correct in-vocabulary label, the right model
+#: behavior is to abstain, and the right oracle behavior is to flag the
+#: wafer as a new pattern instead of forcing a known class.
+NOVEL_LABEL = -2
+
+#: Episode-trace JSONL header schema.
+TRACE_SCHEMA_VERSION = 1
+
+_EPISODE_KINDS = ("clean", "noise", "novel")
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """One scripted phase of the stream.
+
+    ``background_rate`` overrides every generator's background failure
+    range for the episode (``None`` keeps each pattern's default);
+    ``novel_fraction`` of wafers are replaced with novel patterns;
+    ``mixed_fraction`` of (non-novel) wafers become two-pattern maps.
+    """
+
+    kind: str
+    steps: int
+    background_rate: Optional[Tuple[float, float]] = None
+    novel_fraction: float = 0.0
+    mixed_fraction: float = 0.0
+    novel_patterns: Tuple[str, ...] = tuple(sorted(NOVEL_PATTERN_CLASSES))
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EPISODE_KINDS:
+            raise ValueError(f"kind must be one of {_EPISODE_KINDS}, got {self.kind!r}")
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+        if not 0.0 <= self.novel_fraction <= 1.0:
+            raise ValueError("novel_fraction must be in [0, 1]")
+        if not 0.0 <= self.mixed_fraction <= 1.0:
+            raise ValueError("mixed_fraction must be in [0, 1]")
+        unknown = set(self.novel_patterns) - set(NOVEL_PATTERN_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown novel patterns: {sorted(unknown)}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "steps": self.steps,
+            "background_rate": list(self.background_rate)
+            if self.background_rate is not None else None,
+            "novel_fraction": self.novel_fraction,
+            "mixed_fraction": self.mixed_fraction,
+            "novel_patterns": list(self.novel_patterns),
+        }
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Geometry and vocabulary of the simulated stream.
+
+    ``class_weights`` sets the label draw distribution — a real fab
+    stream is dominated by defect-free ("None") wafers, so weights
+    like ``(0.25, 0.25, 0.5)`` are the realistic shape.  ``None``
+    means uniform.
+    """
+
+    classes: Tuple[str, ...] = ("Center", "Edge-Ring", "None")
+    class_weights: Optional[Tuple[float, ...]] = None
+    size: int = 16
+    wafers_per_step: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.classes) - set(CLASS_NAMES)
+        if unknown:
+            raise ValueError(f"classes outside the vocabulary: {sorted(unknown)}")
+        if self.wafers_per_step <= 0:
+            raise ValueError("wafers_per_step must be positive")
+        if self.class_weights is not None:
+            if len(self.class_weights) != len(self.classes):
+                raise ValueError("class_weights must match classes")
+            if any(w < 0 for w in self.class_weights) or sum(self.class_weights) <= 0:
+                raise ValueError("class_weights must be non-negative, sum > 0")
+
+    def probabilities(self) -> np.ndarray:
+        if self.class_weights is None:
+            return np.full(len(self.classes), 1.0 / len(self.classes))
+        weights = np.asarray(self.class_weights, dtype=float)
+        return weights / weights.sum()
+
+
+@dataclass
+class StreamBatch:
+    """One step's wafers: grids + ground truth + provenance."""
+
+    step: int
+    episode: int
+    kind: str
+    #: ``(N, H, W)`` uint8 die grids.
+    grids: np.ndarray
+    #: Class index into ``config.classes`` per wafer, or
+    #: :data:`NOVEL_LABEL` for out-of-vocabulary wafers.
+    labels: np.ndarray
+
+    def record(self) -> Dict[str, Any]:
+        """Trace record: everything but the pixels (those are covered
+        by the CRC so replays can prove byte identity cheaply)."""
+        return {
+            "step": self.step,
+            "episode": self.episode,
+            "kind": self.kind,
+            "labels": [int(label) for label in self.labels],
+            "grids_crc32": zlib.crc32(np.ascontiguousarray(self.grids).tobytes()),
+        }
+
+
+class WaferStream:
+    """A scripted stream: ``batch(step)`` is a pure function of config.
+
+    >>> stream = WaferStream(StreamConfig(seed=1), [
+    ...     EpisodeSpec("clean", steps=5),
+    ...     EpisodeSpec("novel", steps=5, background_rate=(0.15, 0.25),
+    ...                 novel_fraction=0.4),
+    ... ])
+    >>> stream.total_steps
+    10
+    >>> batch = stream.batch(7)
+    >>> batch.kind
+    'novel'
+    """
+
+    def __init__(self, config: StreamConfig, episodes: Sequence[EpisodeSpec]) -> None:
+        if not episodes:
+            raise ValueError("at least one episode is required")
+        self.config = config
+        self.episodes: Tuple[EpisodeSpec, ...] = tuple(episodes)
+        self._episode_of_step: List[int] = []
+        for index, episode in enumerate(self.episodes):
+            self._episode_of_step.extend([index] * episode.steps)
+
+    @property
+    def total_steps(self) -> int:
+        return len(self._episode_of_step)
+
+    def episode_at(self, step: int) -> EpisodeSpec:
+        return self.episodes[self._episode_of_step[step]]
+
+    def batch(self, step: int) -> StreamBatch:
+        """Generate step ``step``'s wafers (pure; order-independent)."""
+        if not 0 <= step < self.total_steps:
+            raise IndexError(f"step {step} outside [0, {self.total_steps})")
+        episode_index = self._episode_of_step[step]
+        episode = self.episodes[episode_index]
+        rng = np.random.default_rng((self.config.seed, step))
+        size = self.config.size
+        class_probabilities = self.config.probabilities()
+        # Two-pattern wafers never mix in "None" (matching
+        # make_shifted_dataset: a defect superimposed on nothing is
+        # just the defect) and keep the first component's label.
+        partner_pool = [c for c in self.config.classes if c != "None"]
+        grids: List[np.ndarray] = []
+        labels: List[int] = []
+        for _ in range(self.config.wafers_per_step):
+            if episode.novel_fraction and rng.random() < episode.novel_fraction:
+                name = str(rng.choice(episode.novel_patterns))
+                generator = make_novel_generator(name, size=size)
+                if episode.background_rate is not None:
+                    generator.background_rate = episode.background_rate
+                grids.append(generator.sample(rng))
+                labels.append(NOVEL_LABEL)
+                continue
+            label = int(rng.choice(len(self.config.classes), p=class_probabilities))
+            name = self.config.classes[label]
+            generator = make_generator(name, size=size)
+            if episode.background_rate is not None:
+                generator.background_rate = episode.background_rate
+            partners = [c for c in partner_pool if c != name]
+            if (
+                episode.mixed_fraction
+                and name != "None"
+                and partners
+                and rng.random() < episode.mixed_fraction
+            ):
+                from ..data.patterns import MixedPattern
+
+                partner = make_generator(str(rng.choice(partners)), size=size)
+                mixed = MixedPattern(size=size, components=(generator, partner))
+                if episode.background_rate is not None:
+                    mixed.background_rate = episode.background_rate
+                grids.append(mixed.sample(rng))
+            else:
+                grids.append(generator.sample(rng))
+            labels.append(label)
+        return StreamBatch(
+            step=step,
+            episode=episode_index,
+            kind=episode.kind,
+            grids=np.stack(grids),
+            labels=np.asarray(labels, dtype=np.int64),
+        )
+
+    def trace_records(self) -> List[Dict[str, Any]]:
+        """Materialize the full episode trace (regenerates every batch)."""
+        return [self.batch(step).record() for step in range(self.total_steps)]
+
+    def header(self) -> Dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "kind": "stream_trace",
+            "classes": list(self.config.classes),
+            "class_weights": list(self.config.class_weights)
+            if self.config.class_weights is not None else None,
+            "size": self.config.size,
+            "wafers_per_step": self.config.wafers_per_step,
+            "seed": self.config.seed,
+            "episodes": [episode.to_dict() for episode in self.episodes],
+        }
+
+
+def save_stream_trace(path: str, stream: WaferStream,
+                      records: Optional[List[Dict[str, Any]]] = None) -> str:
+    """Write the episode trace: one header line, one JSON line per step.
+
+    Returns the trace digest (also stamped into the header line).
+    """
+    if records is None:
+        records = stream.trace_records()
+    digest = stream_trace_digest(records)
+    header = dict(stream.header(), trace_digest=digest)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return digest
+
+
+def load_stream_trace(path: str) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Load a saved trace; returns ``(records, header)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        if header.get("schema") != TRACE_SCHEMA_VERSION or header.get(
+            "kind"
+        ) != "stream_trace":
+            raise ValueError(f"{path} is not a schema-{TRACE_SCHEMA_VERSION} stream trace")
+        records = [json.loads(line) for line in handle if line.strip()]
+    return records, header
+
+
+def stream_trace_digest(records: Sequence[Dict[str, Any]]) -> str:
+    """Order-sensitive content digest of an episode trace."""
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

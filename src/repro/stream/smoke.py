@@ -1,0 +1,106 @@
+"""End-to-end continual-operations smoke: ``python -m repro.stream.smoke``.
+
+Runs the full :func:`~repro.stream.scenario.run_scenario` loop on a
+small seeded configuration and *asserts* the operational contract:
+
+* the concept shift is detected (a drift alert fires after the shift
+  starts, never before);
+* human labels accumulate within the queue's capacity/budget bounds;
+* the shadow retrain promotes atomically (generation advances, every
+  in-flight request carries a valid generation);
+* post-promote accuracy on accepted known-class wafers recovers to
+  within 2 points of the pre-shift baseline;
+* a poisoned retrain is automatically rolled back by the trusted
+  probe;
+* raising at every ``serve.swap.*`` chaos fault point leaves the old
+  generation serving (no torn swap).
+
+Exit code 0 means the whole loop holds together.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+
+from .scenario import ScenarioConfig, run_scenario
+
+#: Recovery contract gated here and in ``scripts/check.sh``:
+#: post-promote accuracy may trail the pre-shift baseline by at most
+#: this much (absolute, on accepted known-class wafers).
+RECOVERY_TOLERANCE = 0.02
+
+
+def main(argv=None) -> int:
+    config = ScenarioConfig(seed=0)
+    with tempfile.TemporaryDirectory(prefix="stream-smoke-") as workdir:
+        result = run_scenario(config, workdir=workdir)
+
+    failures = []
+
+    def check(ok: bool, label: str) -> None:
+        print(f"  {'ok' if ok else 'FAIL':4s} {label}")
+        if not ok:
+            failures.append(label)
+
+    print("stream smoke: continual-operations scenario")
+    pre = result.phase_metrics["pre_shift"]
+    post = result.phase_metrics["post_promote"]
+    check(result.detect_step is not None, "drift detected")
+    check(
+        result.detect_step is None
+        or result.detect_step >= result.shift_start_step,
+        "no alert before the shift",
+    )
+    check(result.promote_step is not None, "shadow retrain promoted")
+    check(
+        any(r["outcome"] == "promoted" for r in result.promotion_history),
+        "promotion recorded",
+    )
+    check(
+        result.generations == sorted(result.generations),
+        "generations monotonically non-decreasing",
+    )
+    check(
+        result.label_stats["depth"] <= result.label_stats["capacity"],
+        "label queue stayed within capacity",
+    )
+    check(
+        all(
+            spent <= result.label_stats["budget_per_window"]
+            for spent in result.label_stats["labels_spent_by_window"].values()
+        ),
+        "label budget respected per window",
+    )
+    check(
+        post["steps"] > 0
+        and post["accuracy"] >= pre["accuracy"] - RECOVERY_TOLERANCE,
+        f"recovered: post-promote accuracy {post['accuracy']:.3f} >= "
+        f"pre-shift {pre['accuracy']:.3f} - {RECOVERY_TOLERANCE}",
+    )
+    check(result.poison_outcome == "rolled_back", "poisoned retrain rolled back")
+    check(
+        bool(result.chaos_results)
+        and all(r["ok"] for r in result.chaos_results),
+        "chaos at every swap fault point left the old generation serving",
+    )
+
+    print(json.dumps({
+        "time_to_detect": result.time_to_detect,
+        "time_to_recover": result.time_to_recover,
+        "labels_spent": result.label_stats["total_submitted"],
+        "pre_shift": pre,
+        "during_shift": result.phase_metrics["during_shift"],
+        "post_promote": post,
+        "decision_digest": result.decision_digest,
+    }, indent=2))
+    if failures:
+        print(f"stream smoke FAILED: {failures}", file=sys.stderr)
+        return 1
+    print("stream smoke passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,14 +125,44 @@ class TestAlerting:
         ]
         assert len(drift) == 1
         data = drift[0]["data"]
-        assert data["alert_schema"] == DRIFT_ALERT_SCHEMA_VERSION == 1
-        assert data["kind"] == "coverage_collapse"
+        assert data["alert_schema"] == DRIFT_ALERT_SCHEMA_VERSION == 2
+        assert data["kind"] == "uniform_drift"
         assert data["rolling_coverage"] == 0.0
         assert data["min_coverage"] == 0.5
         assert data["window_samples"] == 20
+        # v2: per-class rolling acceptance rides in the record.
+        assert data["per_class"]["0"]["seen"] == 20
+        assert data["per_class"]["0"]["rate"] == 0.0
         # The human-readable "alert" record still rides alongside.
         records = load_run(str(tmp_path / "r"))
         assert any(r["type"] == "alert" for r in records)
+
+    def test_alert_classifies_single_class_collapse(self):
+        """One class losing all acceptance while another stays healthy
+        is flagged as class_collapse (the novel-pattern signature)."""
+        monitor = self.make_monitor(min_coverage=0.6, window=40, min_samples=10)
+        fired = []
+        monitor.on_alert(fired.append)
+        # Class 0 fully accepted, class 1 fully rejected -> coverage 0.5
+        # crosses below 0.6 with a bimodal per-class profile.
+        monitor.observe(
+            synthetic_prediction([True] * 10 + [False] * 10,
+                                 labels=[0] * 10 + [1] * 10)
+        )
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert.kind == "class_collapse"
+        assert alert.per_class["0"]["rate"] == 1.0
+        assert alert.per_class["1"]["rate"] == 0.0
+
+    def test_per_class_acceptance_snapshot(self):
+        monitor = self.make_monitor(class_names=("A", "B"))
+        monitor.observe(
+            synthetic_prediction([True, False, True, True], labels=[0, 0, 1, 1])
+        )
+        stats = monitor.per_class_acceptance()
+        assert stats["A"] == {"seen": 2.0, "accepted": 1.0, "rate": 0.5}
+        assert stats["B"] == {"seen": 2.0, "accepted": 2.0, "rate": 1.0}
 
     def test_alert_lands_in_flight_recorder(self):
         from repro.obs.flight import (

@@ -1,0 +1,112 @@
+"""Label-queue bounds, budget accounting, and the oracle labeler."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.batcher import (
+    SHED_LABEL_BUDGET,
+    SHED_LABEL_QUEUE_FULL,
+    Overloaded,
+)
+from repro.stream.queue import HumanLabelQueue, OracleLabeler
+from repro.stream.simulator import NOVEL_LABEL
+
+GRID = np.zeros((4, 4), dtype=np.uint8)
+
+
+def make_queue(**overrides):
+    defaults = dict(
+        capacity=4, budget_per_window=8, window_steps=5,
+        registry=MetricsRegistry(),
+    )
+    defaults.update(overrides)
+    labeler = defaults.pop("labeler", OracleLabeler(num_classes=3))
+    return HumanLabelQueue(labeler, **defaults)
+
+
+class TestOracle:
+    def test_perfect_oracle_echoes_truth(self):
+        labeler = OracleLabeler(num_classes=3, accuracy=1.0)
+        assert labeler.label(0, 2) == 2
+
+    def test_novel_wafer_comes_back_flagged_not_classified(self):
+        assert OracleLabeler(num_classes=3).label(5, NOVEL_LABEL) is None
+
+    def test_labels_are_pure_per_wafer_id(self):
+        a = OracleLabeler(num_classes=4, accuracy=0.5, seed=9)
+        b = OracleLabeler(num_classes=4, accuracy=0.5, seed=9)
+        assert [a.label(i, 1) for i in range(50)] == [
+            b.label(i, 1) for i in range(50)
+        ]
+
+    def test_imperfect_oracle_errs_to_a_wrong_class(self):
+        labeler = OracleLabeler(num_classes=3, accuracy=0.0, seed=1)
+        labels = {labeler.label(i, 1) for i in range(20)}
+        assert 1 not in labels
+        assert labels <= {0, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OracleLabeler(num_classes=1)
+        with pytest.raises(ValueError):
+            OracleLabeler(num_classes=3, accuracy=1.5)
+        with pytest.raises(ValueError):
+            OracleLabeler(num_classes=3, latency_steps=-1)
+
+
+class TestBounds:
+    def test_capacity_shed_is_typed(self):
+        queue = make_queue(capacity=2)
+        queue.submit(0, GRID, 0, step=0)
+        queue.submit(1, GRID, 0, step=0)
+        with pytest.raises(Overloaded) as excinfo:
+            queue.submit(2, GRID, 0, step=0)
+        assert excinfo.value.reason == SHED_LABEL_QUEUE_FULL
+        assert queue.stats()["total_shed_queue_full"] == 1
+
+    def test_budget_shed_is_typed_and_windowed(self):
+        queue = make_queue(capacity=100, budget_per_window=3, window_steps=5)
+        for i in range(3):
+            queue.submit(i, GRID, 0, step=0)
+        with pytest.raises(Overloaded) as excinfo:
+            queue.submit(3, GRID, 0, step=4)
+        assert excinfo.value.reason == SHED_LABEL_BUDGET
+        assert queue.budget_remaining(4) == 0
+        # Step 5 opens a fresh accounting window.
+        queue.submit(4, GRID, 0, step=5)
+        assert queue.budget_remaining(5) == 2
+        spent = queue.stats()["labels_spent_by_window"]
+        assert spent == {0: 3, 1: 1}
+
+    def test_poll_frees_capacity(self):
+        queue = make_queue(capacity=2, labeler=OracleLabeler(3, latency_steps=0))
+        queue.submit(0, GRID, 0, step=0)
+        queue.submit(1, GRID, 0, step=0)
+        assert len(queue.poll(0)) == 2
+        queue.submit(2, GRID, 0, step=0)  # no Overloaded
+        assert queue.depth == 1
+
+
+class TestLatency:
+    def test_labels_arrive_after_latency_steps(self):
+        queue = make_queue(labeler=OracleLabeler(3, latency_steps=2))
+        queue.submit(7, GRID, 1, step=3)
+        assert queue.poll(3) == []
+        assert queue.poll(4) == []
+        (wafer,) = queue.poll(5)
+        assert wafer.wafer_id == 7
+        assert wafer.label == 1
+        assert wafer.true_label == 1
+        assert (wafer.submitted_step, wafer.labeled_step) == (3, 5)
+
+    def test_metrics_track_flow(self):
+        registry = MetricsRegistry()
+        queue = make_queue(
+            registry=registry, labeler=OracleLabeler(3, latency_steps=0)
+        )
+        queue.submit(0, GRID, 0, step=0)
+        queue.poll(0)
+        counters = registry.snapshot()["counters"]
+        assert counters["stream.label_queue.submitted"] == 1
+        assert counters["stream.label_queue.labeled"] == 1

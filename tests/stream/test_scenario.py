@@ -1,0 +1,129 @@
+"""End-to-end scenario: detect → label → retrain → promote → recover.
+
+One full default-config scenario run is shared module-wide (it is the
+expensive part); each test pins one clause of the operational
+contract.  A separate pair of *small* runs pins replay determinism of
+the decision digest without paying for two full scenarios.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.stream.scenario import ScenarioConfig, run_scenario
+from repro.stream.simulator import load_stream_trace, stream_trace_digest
+
+SMALL = ScenarioConfig(
+    seed=3,
+    train_total=60, val_total=24, epochs=2,
+    clean_steps=2, shift_steps=5,
+    min_labels_to_retrain=8, retrain_epochs=2,
+    poison_leg=False, chaos_leg=False,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario_run(tmp_path_factory):
+    workdir = tmp_path_factory.mktemp("scenario")
+    trace_path = workdir / "trace.jsonl"
+    result = run_scenario(
+        ScenarioConfig(seed=0),
+        workdir=str(workdir),
+        trace_path=str(trace_path),
+    )
+    return result, trace_path
+
+
+@pytest.fixture(scope="module")
+def result(scenario_run):
+    return scenario_run[0]
+
+
+class TestOperationalContract:
+    def test_drift_detected_only_after_shift(self, result):
+        assert result.detect_step is not None
+        assert result.detect_step >= result.shift_start_step
+        assert result.time_to_detect == result.detect_step - result.shift_start_step
+        for record in result.steps[: result.shift_start_step]:
+            assert record["alerts"] == []
+
+    def test_retrain_promoted_after_detection(self, result):
+        assert result.promote_step is not None
+        assert result.promote_step > result.detect_step
+        assert result.time_to_recover >= result.time_to_detect
+        assert any(
+            entry["outcome"] == "promoted" for entry in result.promotion_history
+        )
+
+    def test_coverage_collapses_then_recovers(self, result):
+        phases = result.phase_metrics
+        assert phases["during_shift"]["coverage"] < phases["pre_shift"]["coverage"]
+        assert phases["post_promote"]["steps"] > 0
+        assert phases["post_promote"]["coverage"] > phases["during_shift"]["coverage"]
+
+    def test_recovery_holds_the_accuracy_floor(self, result):
+        phases = result.phase_metrics
+        assert (
+            phases["post_promote"]["accuracy"]
+            >= phases["pre_shift"]["accuracy"] - 0.02
+        )
+
+    def test_label_budget_never_exceeded(self, result):
+        stats = result.label_stats
+        assert all(
+            spent <= stats["budget_per_window"]
+            for spent in stats["labels_spent_by_window"].values()
+        )
+        assert stats["total_submitted"] <= (
+            stats["total_labeled"] + stats["depth"]
+        )
+
+    def test_generations_are_monotonic(self, result):
+        assert result.generations == sorted(result.generations)
+        assert result.generations[0] == 1
+        assert result.generations[-1] > 1
+
+    def test_poisoned_retrain_is_rolled_back(self, result):
+        assert result.poison_outcome == "rolled_back"
+        rollback = [
+            entry for entry in result.promotion_history
+            if entry["outcome"] == "rolled_back"
+        ]
+        assert rollback and "floor" in rollback[-1]["detail"]
+
+    def test_chaos_sweep_never_tears_a_generation(self, result):
+        assert len(result.chaos_results) == 4
+        for entry in result.chaos_results:
+            assert entry["ok"], entry
+            assert entry["generation_after"] == entry["generation_before"]
+
+    def test_payload_is_json_shaped(self, result):
+        import json
+
+        payload = result.to_payload()
+        assert payload["kind"] == "stream_scenario"
+        assert len(payload["decision_digest"]) == 64
+        json.dumps(payload)  # must not need custom encoders
+
+    def test_saved_trace_matches_digest(self, scenario_run):
+        result, trace_path = scenario_run
+        records, header = load_stream_trace(str(trace_path))
+        assert header["trace_digest"] == result.trace_digest
+        assert stream_trace_digest(records) == result.trace_digest
+
+
+class TestDeterminism:
+    def test_identical_configs_produce_identical_decisions(self, tmp_path):
+        first = run_scenario(SMALL, workdir=str(tmp_path / "a"))
+        second = run_scenario(SMALL, workdir=str(tmp_path / "b"))
+        assert first.decision_digest == second.decision_digest
+        assert first.trace_digest == second.trace_digest
+        assert first.generations == second.generations
+        assert first.steps == second.steps
+
+    def test_seed_changes_the_decision_digest(self, tmp_path):
+        first = run_scenario(SMALL, workdir=str(tmp_path / "a"))
+        other = run_scenario(
+            dataclasses.replace(SMALL, seed=4), workdir=str(tmp_path / "b")
+        )
+        assert first.decision_digest != other.decision_digest

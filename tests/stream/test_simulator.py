@@ -1,0 +1,128 @@
+"""Replayability and trace-digest contracts of the wafer stream."""
+
+import numpy as np
+import pytest
+
+from repro.stream.simulator import (
+    NOVEL_LABEL,
+    EpisodeSpec,
+    StreamConfig,
+    WaferStream,
+    load_stream_trace,
+    save_stream_trace,
+    stream_trace_digest,
+)
+
+EPISODES = [
+    EpisodeSpec("clean", steps=3),
+    EpisodeSpec(
+        "novel", steps=4, background_rate=(0.07, 0.12),
+        mixed_fraction=0.5, novel_fraction=0.5,
+    ),
+]
+
+
+def make_stream(seed=0, **overrides):
+    config = StreamConfig(seed=seed, size=12, wafers_per_step=8, **overrides)
+    return WaferStream(config, EPISODES)
+
+
+class TestDeterminism:
+    def test_batch_is_pure_across_instances(self):
+        a, b = make_stream(), make_stream()
+        for step in range(a.total_steps):
+            left, right = a.batch(step), b.batch(step)
+            assert np.array_equal(left.grids, right.grids)
+            assert np.array_equal(left.labels, right.labels)
+
+    def test_batch_is_order_independent(self):
+        forward = [make_stream().batch(s) for s in range(7)]
+        stream = make_stream()
+        for step in reversed(range(7)):
+            replay = stream.batch(step)
+            assert np.array_equal(replay.grids, forward[step].grids)
+            assert np.array_equal(replay.labels, forward[step].labels)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            make_stream(seed=0).batch(0).grids,
+            make_stream(seed=1).batch(0).grids,
+        )
+
+    def test_trace_digest_is_stable_and_seed_sensitive(self):
+        digest = stream_trace_digest(make_stream().trace_records())
+        assert digest == stream_trace_digest(make_stream().trace_records())
+        assert digest != stream_trace_digest(make_stream(seed=2).trace_records())
+
+
+class TestEpisodes:
+    def test_episode_boundaries(self):
+        stream = make_stream()
+        assert stream.total_steps == 7
+        assert [stream.batch(s).kind for s in range(7)] == (
+            ["clean"] * 3 + ["novel"] * 4
+        )
+        assert [stream.batch(s).episode for s in range(7)] == [0] * 3 + [1] * 4
+
+    def test_clean_steps_have_no_novel_wafers(self):
+        stream = make_stream()
+        for step in range(3):
+            assert (stream.batch(step).labels != NOVEL_LABEL).all()
+
+    def test_novel_episode_injects_novel_labels(self):
+        stream = make_stream()
+        labels = np.concatenate([stream.batch(s).labels for s in range(3, 7)])
+        assert (labels == NOVEL_LABEL).any()
+        known = labels[labels != NOVEL_LABEL]
+        assert known.min() >= 0 and known.max() < 3
+
+    def test_step_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            make_stream().batch(7)
+
+    def test_class_weights_skew_the_draw(self):
+        heavy_none = make_stream(class_weights=(0.1, 0.1, 0.8))
+        labels = np.concatenate([heavy_none.batch(s).labels for s in range(3)])
+        none_index = 2  # classes = (Center, Edge-Ring, None)
+        assert (labels == none_index).mean() > 0.5
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            EpisodeSpec("weird", steps=1)
+
+    def test_rejects_unknown_novel_pattern(self):
+        with pytest.raises(ValueError, match="novel patterns"):
+            EpisodeSpec("novel", steps=1, novel_patterns=("Spiral",))
+
+    def test_rejects_vocabulary_violation(self):
+        with pytest.raises(ValueError, match="vocabulary"):
+            StreamConfig(classes=("Center", "NotAClass"))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError, match="class_weights"):
+            StreamConfig(class_weights=(0.5, 0.5))
+
+    def test_requires_episodes(self):
+        with pytest.raises(ValueError, match="episode"):
+            WaferStream(StreamConfig(), [])
+
+
+class TestTraceIO:
+    def test_roundtrip_preserves_records_and_digest(self, tmp_path):
+        stream = make_stream()
+        path = str(tmp_path / "trace.jsonl")
+        digest = save_stream_trace(path, stream)
+        records, header = load_stream_trace(path)
+        assert header["trace_digest"] == digest
+        assert stream_trace_digest(records) == digest
+        assert records == stream.trace_records()
+        assert header["seed"] == 0
+        assert len(header["episodes"]) == 2
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"schema": 99, "kind": "other"}\n')
+        with pytest.raises(ValueError, match="stream trace"):
+            load_stream_trace(str(path))
